@@ -1,0 +1,49 @@
+"""Shared fixtures and reporting helpers for the benchmark harnesses.
+
+Every file in this directory regenerates one table or figure of the paper
+(see DESIGN.md for the index).  Each harness runs the corresponding
+experiment generator under pytest-benchmark and prints the same rows /
+series the paper reports, so the output can be compared side by side with
+the published figures.  Absolute numbers are not expected to match the
+authors' testbed — the substrate here is a simulator — but the shapes
+(who wins, by roughly what factor, where crossovers fall) should.
+
+Durations are controlled by the ``PICTOR_BENCH_PROFILE`` environment
+variable: ``quick`` (default) finishes the full suite in minutes;
+``paper`` uses longer measurement intervals for lower variance.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.core.reporting import format_table
+
+
+def _make_config() -> ExperimentConfig:
+    profile = os.environ.get("PICTOR_BENCH_PROFILE", "quick")
+    if profile == "paper":
+        return ExperimentConfig.paper(seed=42)
+    if profile == "standard":
+        return ExperimentConfig(seed=42)
+    return ExperimentConfig(seed=42, duration_s=10.0, warmup_s=1.0,
+                            recording_seconds=8.0, cnn_epochs=6, lstm_epochs=15)
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    """The experiment configuration shared by every harness."""
+    return _make_config()
+
+
+def emit(title: str, headers: Sequence[str], rows: Iterable[Sequence[object]],
+         notes: str = "") -> None:
+    """Print one figure/table reproduction in a consistent format."""
+    print()
+    print(format_table(headers, rows, title=title))
+    if notes:
+        print(notes)

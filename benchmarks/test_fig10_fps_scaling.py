@@ -1,0 +1,37 @@
+"""Figure 10: server and client FPS when colocating 1-4 instances.
+
+Paper result: every benchmark still clears the 25-FPS QoS bar with two
+instances per server; Red Eclipse, InMind and IMHOTEP still clear it with
+three; FPS degrades further at four.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+from repro.experiments.scaling import scaling_sweep
+
+SCALING_BENCHMARKS = ("STK", "RE", "D2", "ITP")
+
+
+def test_fig10_fps_scaling(benchmark, config):
+    def run():
+        return {bench: scaling_sweep(bench, config, max_instances=config.max_instances)
+                for bench in SCALING_BENCHMARKS}
+
+    sweeps = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    emit("Figure 10: server / client FPS vs. colocated instance count",
+         ["bench", "instances", "server FPS", "client FPS"],
+         [[bench, point.instances, f"{point.server_fps:.1f}", f"{point.client_fps:.1f}"]
+          for bench, points in sweeps.items() for point in points],
+         notes="Paper: all benchmarks >= 25 client FPS at 2 instances; "
+               "RE/IM/ITP still >= 25 at 3.")
+
+    for bench, points in sweeps.items():
+        by_count = {p.instances: p for p in points}
+        assert by_count[2].client_fps >= 24.0, f"{bench} misses QoS at 2 instances"
+        assert by_count[1].client_fps > by_count[config.max_instances].client_fps
+        assert by_count[1].server_fps >= by_count[1].client_fps * 0.95
+    # The lighter benchmarks tolerate three instances (paper: RE, IM, ITP).
+    assert {p.instances: p for p in sweeps["ITP"]}[3].client_fps >= 25.0
+    assert {p.instances: p for p in sweeps["RE"]}[3].client_fps >= 25.0

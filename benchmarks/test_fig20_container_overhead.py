@@ -1,0 +1,36 @@
+"""Figure 20: overhead of running the benchmarks in containers.
+
+Paper result: containers cost little on average (~1.3% RTT, ~1.5% server
+FPS, ~2.9% GPU render time) but individual configurations can reach
+~8.5% RTT / 6% FPS, and a few configurations even run *faster* inside a
+container because isolation reduces benchmark-vs-proxy interference.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+from repro.experiments.containers import container_overhead
+
+
+def test_fig20_container_overhead(benchmark, config):
+    summary = benchmark.pedantic(
+        lambda: container_overhead(config.benchmarks, config),
+        rounds=1, iterations=1)
+
+    emit("Figure 20: container overhead per benchmark (negative = speed-up)",
+         ["bench", "FPS overhead", "RTT overhead", "GPU render overhead"],
+         [[row.benchmark, f"{row.fps_overhead_percent:+.1f}%",
+           f"{row.rtt_overhead_percent:+.1f}%",
+           f"{row.gpu_render_overhead_percent:+.1f}%"] for row in summary.rows],
+         notes=(f"means: FPS {summary.mean_fps_overhead_percent:+.1f}%, "
+                f"RTT {summary.mean_rtt_overhead_percent:+.1f}%, "
+                f"GPU {summary.mean_gpu_render_overhead_percent:+.1f}% "
+                "(paper: 1.5% / 1.3% / 2.9%)"))
+
+    # Average overheads are small; individual ones can be larger but bounded.
+    assert abs(summary.mean_fps_overhead_percent) < 10.0
+    assert abs(summary.mean_rtt_overhead_percent) < 10.0
+    assert summary.max_rtt_overhead_percent < 20.0
+    assert summary.mean_gpu_render_overhead_percent >= 0.0
+    # GPU virtualization never speeds rendering up.
+    assert all(row.gpu_render_overhead_percent > -1.0 for row in summary.rows)

@@ -1,0 +1,40 @@
+"""Table 4: feature comparison of VDI / cloud-gaming benchmarking tools.
+
+Paper result: Pictor is the only methodology that simultaneously tolerates
+random UI objects and varying network latency, tracks user inputs, and
+measures CPU, network, GPU and PCIe frame-copy performance without
+altering the 3D application's behaviour.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+from repro.experiments.feature_matrix import (
+    FEATURES,
+    PICTOR_FEATURE_MODULES,
+    TOOLS,
+    feature_matrix,
+    pictor_only_features,
+)
+
+
+def test_table4_feature_matrix(benchmark):
+    rows = benchmark.pedantic(feature_matrix, rounds=1, iterations=1)
+
+    tool_names = [tool.name for tool in TOOLS]
+    emit("Table 4: methodology capability matrix",
+         ["feature"] + tool_names,
+         [[row["feature"]] + ["x" if row[name] else "" for name in tool_names]
+          for row in rows])
+    emit("Pictor capability -> implementing module",
+         ["feature", "module"],
+         [[feature, PICTOR_FEATURE_MODULES[feature]] for feature in FEATURES])
+
+    assert len(rows) == 8
+    assert all(row["Pictor"] for row in rows)
+    only = pictor_only_features()
+    assert "gpu_perf_measurement" in only
+    assert "pcie_frame_copy_measurement" in only
+    for tool in TOOLS:
+        if tool.name != "Pictor":
+            assert not all(tool.supports(feature) for feature in FEATURES)

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: run one cloud-rendered benchmark and print Pictor's report.
+
+This is the smallest end-to-end use of the library: build a testbed host
+(one simulated GPU server), add a single SuperTuxKart instance driven by
+the synthetic human player, run it for a short measurement interval, and
+print the quantities the paper reports for a single benchmark — FPS, the
+round-trip time distribution and its breakdown, resource utilization and
+the architecture-level counters.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core.reporting import format_breakdown, format_ms, format_table
+from repro.server.host import CloudHost, HostConfig
+
+
+def main() -> None:
+    host = CloudHost(HostConfig(seed=1))
+    host.add_instance("STK")                    # SuperTuxKart + its client
+    result = host.run(duration=30.0, warmup=3.0)
+
+    report = result.reports[0]
+    print(f"Benchmark            : {report.benchmark}")
+    print(f"Measurement interval : {report.duration:.1f} simulated seconds")
+    print(f"Server FPS           : {report.server_fps:.1f}")
+    print(f"Client FPS           : {report.client_fps:.1f}")
+    print(f"Inputs tracked       : {report.inputs_tracked} "
+          f"({report.inputs_completed} completed round trips)")
+    print()
+
+    rtt = report.rtt.scaled(1e3)
+    print(format_table(
+        ["metric", "value"],
+        [["mean RTT", f"{rtt.mean:.1f} ms"],
+         ["1%-tile", f"{rtt.p1:.1f} ms"],
+         ["25%-tile", f"{rtt.p25:.1f} ms"],
+         ["75%-tile", f"{rtt.p75:.1f} ms"],
+         ["99%-tile", f"{rtt.p99:.1f} ms"]],
+        title="Round-trip time distribution (hook1 -> hook10)"))
+    print()
+    print("RTT breakdown        :", format_breakdown(report.rtt_breakdown))
+    print("Server breakdown     :", format_breakdown(report.server_breakdown))
+    print("Application breakdown:", format_breakdown(report.application_breakdown))
+    print()
+    print(f"Benchmark CPU        : {report.cpu_utilization_cores * 100:.0f}%")
+    print(f"VNC proxy CPU        : {report.vnc_cpu_utilization_cores * 100:.0f}%")
+    print(f"GPU utilization      : {report.gpu_utilization * 100:.0f}%")
+    print(f"Network (frames)     : {report.network_send_mbps:.0f} Mbps")
+    print(f"PCIe readback        : {report.pcie_from_gpu_gbps:.2f} GB/s")
+    print(f"L3 miss rate         : {report.cpu_pmu['l3_miss_rate']:.2f}")
+    print(f"Back-end bound cycles: {report.cpu_pmu['backend_bound'] * 100:.0f}%")
+    print(f"GPU render time      : {format_ms(report.extra['gpu_render_time_mean'])}")
+    print(f"Server power         : {result.average_power_watts:.0f} W")
+
+
+if __name__ == "__main__":
+    main()

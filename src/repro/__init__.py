@@ -1,0 +1,36 @@
+"""Pictor reproduction: benchmarking framework for cloud 3D applications.
+
+This package reproduces *"A Benchmarking Framework for Interactive 3D
+Applications in the Cloud"* (Liu et al., 2020) as a self-contained Python
+library.  The real testbed (GPU server, TurboVNC/VirtualGL, six games and
+VR titles, human players) is replaced by calibrated simulation substrates
+and small, genuinely trained numpy ML models; see ``DESIGN.md`` for the
+complete substitution map and the per-experiment index.
+
+Typical entry points:
+
+* :class:`repro.server.CloudHost` — build and run a testbed (one server
+  machine, N benchmark instances with their clients and agents).
+* :class:`repro.core.Pictor` — the measurement framework facade.
+* :func:`repro.agents.train_intelligent_client` — record a human session
+  and train the CNN+LSTM intelligent client for a benchmark.
+* :mod:`repro.experiments` — one generator per figure/table of the paper.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.pictor import PerformanceReport, Pictor, PictorConfig
+from repro.server.host import CloudHost, HostConfig, HostResult
+from repro.server.session import RenderingSession, SessionConfig
+
+__all__ = [
+    "CloudHost",
+    "HostConfig",
+    "HostResult",
+    "PerformanceReport",
+    "Pictor",
+    "PictorConfig",
+    "RenderingSession",
+    "SessionConfig",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Prior-work input-generation / measurement methodologies.
+
+Section 4 compares Pictor against three earlier approaches:
+
+* **DeskBench / VNCPlay** — record-and-replay with frame-similarity
+  gating (:mod:`repro.agents.baselines.deskbench`);
+* **Chen et al.** — human inputs with RTT reconstructed by summing
+  server-side stages measured without input tracking
+  (:mod:`repro.agents.baselines.chen`);
+* **Slow-Motion benchmarking** — serialize the system so only one
+  input/frame is in flight at a time
+  (:mod:`repro.agents.baselines.slowmotion`).
+"""
+
+from repro.agents.baselines.chen import ChenMethodology
+from repro.agents.baselines.deskbench import DeskBenchClient
+from repro.agents.baselines.slowmotion import SlowMotionMethodology
+
+__all__ = ["ChenMethodology", "DeskBenchClient", "SlowMotionMethodology"]

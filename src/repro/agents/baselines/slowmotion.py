@@ -1,0 +1,52 @@
+"""Slow-Motion benchmarking (Nieh, Yang and Novik).
+
+Slow-Motion measures thin-client response time by injecting delays so
+that only one input (and its response frame) is in flight at a time: the
+next input is not issued until the previous frame has been rendered,
+delivered and displayed.  Associating an input with its frame then
+becomes trivial — there is only ever one of each.
+
+The cost, as the original authors themselves noted and the paper
+quantifies, is that serialization changes the system's behaviour: the
+parallel processing of inputs and frames disappears, and with it the
+resource contention between the benchmark and the VNC proxy, so the
+measured RTTs are systematically lower (~28%) than what a client observes
+against a server running at full capacity.
+
+Slow-Motion provides no input-generation technique of its own, so the
+paper drives it with Pictor's intelligent client; this module packages
+the session configuration that reproduces the methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.client.proxy import ClientProxyConfig
+from repro.server.session import SessionConfig
+
+__all__ = ["SlowMotionMethodology"]
+
+
+class SlowMotionMethodology:
+    """Builds the serialized-session configuration used by Slow-Motion."""
+
+    def __init__(self, injected_delay_s: float = 0.0):
+        """``injected_delay_s`` is an extra pause between input/frame pairs;
+        the original tool inserts such delays to make frame boundaries
+        unambiguous on slow links."""
+        if injected_delay_s < 0:
+            raise ValueError("injected delay cannot be negative")
+        self.injected_delay_s = injected_delay_s
+
+    def session_config(self, base: SessionConfig) -> SessionConfig:
+        """Derive a slow-motion session config from a baseline config."""
+        client = replace(base.client, wait_for_response=True,
+                         slow_motion_timeout_s=max(1.0, 2 * self.injected_delay_s + 1.0))
+        return replace(base, slow_motion=True, client=client)
+
+    @staticmethod
+    def describe() -> str:
+        return ("Slow-Motion benchmarking: one input/frame processed at a time; "
+                "trivial input-frame association, but serialization removes the "
+                "contention a full-capacity system exhibits.")

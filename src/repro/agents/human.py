@@ -1,0 +1,78 @@
+"""The synthetic human reference player.
+
+The paper's ground truth comes from real humans playing each benchmark
+for three 15-minute sessions.  Here the reference player is a stochastic
+policy built on each application's ground-truth interaction model: it
+issues the "correct" response to the visible objects, but with human
+imperfections — reaction delay, motor noise, occasional missed frames and
+attention lapses.  Recorded sessions of this player train the intelligent
+client, and live sessions of this player produce the human RTT/FPS
+distributions every methodology is compared against (Figure 6, Table 3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.base import Action, Application3D, InputKind
+from repro.graphics.frame import Frame
+from repro.sim.randomness import StreamRandom
+
+__all__ = ["HumanPlayer"]
+
+
+class HumanPlayer:
+    """A stochastic human-like policy for one application."""
+
+    def __init__(self, app: Application3D, rng: Optional[StreamRandom] = None,
+                 skill: float = 0.85, lapse_probability: float = 0.04):
+        if not 0.0 < skill <= 1.0:
+            raise ValueError(f"skill must be in (0, 1], got {skill}")
+        if not 0.0 <= lapse_probability < 1.0:
+            raise ValueError("lapse_probability must be in [0, 1)")
+        self.app = app
+        self.rng = rng or StreamRandom(0)
+        self.skill = skill
+        self.lapse_probability = lapse_probability
+        self.actions_issued = 0
+
+    # -- agent interface --------------------------------------------------------
+    @property
+    def input_kind(self) -> InputKind:
+        return self.app.profile.input_kind
+
+    @property
+    def actions_per_second(self) -> float:
+        return self.app.profile.actions_per_second
+
+    def decide(self, frame: Optional[Frame], now: float):
+        """Return ``(action, think_time)`` or ``None`` for an attention lapse."""
+        if self.rng.bernoulli(self.lapse_probability):
+            return None
+        action = self.policy(frame)
+        reaction = self.reaction_time()
+        self.actions_issued += 1
+        return action, reaction
+
+    # -- policy -------------------------------------------------------------------
+    def policy(self, frame: Optional[Frame]) -> Action:
+        """The action a human would take in response to ``frame``."""
+        if frame is None:
+            # Nothing on screen yet: press forward and wait.
+            return Action(steer=0.0, pitch=0.0, primary=True)
+        ideal = self.app.correct_action(frame)
+        noise = 1.0 - self.skill
+        steer = ideal.steer + self.rng.normal(0.0, 0.25 * noise + 0.03)
+        pitch = ideal.pitch + self.rng.normal(0.0, 0.25 * noise + 0.03)
+        primary = ideal.primary and self.rng.bernoulli(self.skill)
+        return Action(steer=float(max(-1.0, min(1.0, steer))),
+                      pitch=float(max(-1.0, min(1.0, pitch))),
+                      primary=primary)
+
+    def reaction_time(self) -> float:
+        """Seconds between seeing the frame and completing the action."""
+        profile = self.app.profile
+        return self.rng.truncated_normal(
+            profile.reaction_time_ms * 1e-3,
+            profile.reaction_time_std_ms * 1e-3,
+            low=0.05, high=1.0)

@@ -1,0 +1,51 @@
+"""The Pictor benchmark suite: six interactive 3D applications.
+
+Table 2 of the paper lists four computer games and two VR applications
+covering popular genres.  The original titles are real (partly closed-
+source) games; here each is a synthetic application exposing the same
+interface the cloud rendering stack sees — per-frame application logic,
+GL draw/swap calls, randomly generated and moving scene objects, and a
+ground-truth interaction model — parameterized to match the paper's
+per-application characterization (CPU/GPU utilization, memory footprint,
+PCIe traffic, scene dynamics).
+"""
+
+from repro.apps.base import (
+    Action,
+    Application3D,
+    ApplicationProfile,
+    InputKind,
+    SceneDynamics,
+)
+from repro.apps.registry import (
+    BENCHMARK_NAMES,
+    BENCHMARK_SHORT_NAMES,
+    all_benchmarks,
+    create_benchmark,
+    get_profile,
+)
+from repro.apps.supertuxkart import SuperTuxKart
+from repro.apps.zeroad import ZeroAD
+from repro.apps.redeclipse import RedEclipse
+from repro.apps.dota2 import Dota2
+from repro.apps.inmind import InMind
+from repro.apps.imhotep import Imhotep
+
+__all__ = [
+    "Action",
+    "Application3D",
+    "ApplicationProfile",
+    "BENCHMARK_NAMES",
+    "BENCHMARK_SHORT_NAMES",
+    "Dota2",
+    "Imhotep",
+    "InMind",
+    "InputKind",
+    "RedEclipse",
+    "SceneDynamics",
+    "SuperTuxKart",
+    "ZeroAD",
+    "all_benchmarks",
+    "create_benchmark",
+    "get_profile",
+]

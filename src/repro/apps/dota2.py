@@ -1,0 +1,71 @@
+"""DoTA 2 (D2) — closed-source multiplayer online battle arena.
+
+Dota 2 is the heaviest CPU consumer of the suite (≈266% CPU in Figure 8 —
+its engine fans game logic, particle simulation and command buffers out
+over several threads) while its resident memory is the smallest (≈600 MB).
+Being closed source, it is also the benchmark that demonstrates Pictor's
+no-source-modification requirement: all instrumentation happens through
+the standard GL/X API hooks.
+
+Figure 19 studies Dota 2's sensitivity to co-runners: its performance
+loss and cache-miss increase vary a lot with which benchmark shares the
+server (SuperTuxKart hurts the most, 0 A.D. the least).
+
+The scene exposes friendly and enemy units, projectiles, and the UI
+elements (minimap, ability bar) that 2D-oriented replay tools latch onto.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import Application3D, ApplicationProfile, InputKind, SceneDynamics
+from repro.graphics.frame import ObjectClass
+from repro.hardware.gpu import GpuWorkloadProfile
+
+__all__ = ["Dota2"]
+
+
+class Dota2(Application3D):
+    """Online-battle-arena benchmark (Table 2, "Game: Online Battle Arena")."""
+
+    profile = ApplicationProfile(
+        name="DoTA 2",
+        short_name="D2",
+        genre="online battle arena",
+        input_kind=InputKind.KEYBOARD_MOUSE,
+        open_source=False,
+        opengl_version="4.5",
+        al_ms=21.0,
+        al_cv=0.20,
+        cpu_demand=3.0,
+        memory_intensity=0.60,
+        working_set_mb=12.0,
+        cpu_memory_mb=600.0,
+        base_l3_miss_rate=0.73,
+        render_ms=10.0,
+        render_cv=0.25,
+        gpu_profile=GpuWorkloadProfile(
+            base_l2_miss_rate=0.32,
+            base_texture_miss_rate=0.24,
+            gpu_memory_mb=780.0,
+        ),
+        upload_bytes_per_frame=0.7e6,
+        scene_change_mean=0.30,
+        scene_change_cv=0.35,
+        complexity_cv=0.22,
+        human_apm=320.0,
+        reaction_time_ms=230.0,
+        reaction_time_std_ms=70.0,
+    )
+
+    dynamics = SceneDynamics(
+        object_classes=(ObjectClass.UNIT, ObjectClass.ENEMY,
+                        ObjectClass.PROJECTILE, ObjectClass.UI_ELEMENT),
+        object_counts=(4, 3, 2, 2),
+        spawn_rate=1.8,
+        despawn_rate=1.2,
+        object_speed=0.18,
+        steer_class=ObjectClass.ENEMY,
+        primary_class=ObjectClass.ENEMY,
+        primary_trigger_distance=0.22,
+        viewpoint_sensitivity=0.30,
+    )

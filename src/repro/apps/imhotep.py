@@ -1,0 +1,66 @@
+"""IMHOTEP (ITP) — open-source VR framework for surgical planning.
+
+IMHOTEP renders patient-specific anatomy (organ surfaces, annotations)
+for pre-operative planning in VR.  Compared with the games it has slower
+scene dynamics — the surgeon inspects a mostly static model by moving
+their head and highlighting structures — so its scene-change rate and
+input rate are the lowest of the suite, but the organ meshes keep the GPU
+render time high.  Like InMind it feeds head-pose (HMD) input through the
+TurboVNC VR extension, and it is one of the benchmarks that still meets
+the 25 FPS QoS bar with three colocated instances (Figure 10).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import Application3D, ApplicationProfile, InputKind, SceneDynamics
+from repro.graphics.frame import ObjectClass
+from repro.hardware.gpu import GpuWorkloadProfile
+
+__all__ = ["Imhotep"]
+
+
+class Imhotep(Application3D):
+    """VR health benchmark (Table 2, "VR: Health")."""
+
+    profile = ApplicationProfile(
+        name="IMHOTEP",
+        short_name="ITP",
+        genre="VR health",
+        input_kind=InputKind.HMD,
+        is_vr=True,
+        open_source=True,
+        opengl_version="4.1",
+        al_ms=10.0,
+        al_cv=0.15,
+        cpu_demand=1.1,
+        memory_intensity=0.60,
+        working_set_mb=8.0,
+        cpu_memory_mb=2200.0,
+        base_l3_miss_rate=0.72,
+        render_ms=12.0,
+        render_cv=0.20,
+        gpu_profile=GpuWorkloadProfile(
+            base_l2_miss_rate=0.36,
+            base_texture_miss_rate=0.21,
+            gpu_memory_mb=690.0,
+        ),
+        upload_bytes_per_frame=0.4e6,
+        scene_change_mean=0.25,
+        scene_change_cv=0.30,
+        complexity_cv=0.15,
+        human_apm=180.0,
+        reaction_time_ms=240.0,
+        reaction_time_std_ms=70.0,
+    )
+
+    dynamics = SceneDynamics(
+        object_classes=(ObjectClass.ORGAN, ObjectClass.UI_ELEMENT, ObjectClass.TARGET),
+        object_counts=(4, 2, 2),
+        spawn_rate=0.8,
+        despawn_rate=0.5,
+        object_speed=0.06,
+        steer_class=ObjectClass.ORGAN,
+        primary_class=ObjectClass.TARGET,
+        primary_trigger_distance=0.25,
+        viewpoint_sensitivity=0.30,
+    )

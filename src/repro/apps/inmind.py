@@ -1,0 +1,68 @@
+"""InMind (IM) — closed-source VR education/game title.
+
+InMind is one of the two VR benchmarks.  It has the largest CPU-resident
+memory footprint of the suite (≈4 GB in the paper's characterization) and
+the highest GPU L2 miss rate (Figure 16) — VR scenes stream large volumes
+of geometry and render at high resolution per eye.  Input arrives as a
+continuous stream of head-pose (HMD) updates rather than discrete
+keystrokes, which is why the authors had to extend TurboVNC with VR
+device-input support.
+
+Interaction is gaze-driven: the player steers their gaze toward neuron
+targets and "selects" them by holding the gaze (the primary action).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import Application3D, ApplicationProfile, InputKind, SceneDynamics
+from repro.graphics.frame import ObjectClass
+from repro.hardware.gpu import GpuWorkloadProfile
+
+__all__ = ["InMind"]
+
+
+class InMind(Application3D):
+    """VR education/game benchmark (Table 2, "VR: Education/Game")."""
+
+    profile = ApplicationProfile(
+        name="InMind",
+        short_name="IM",
+        genre="VR education/game",
+        input_kind=InputKind.HMD,
+        is_vr=True,
+        open_source=False,
+        opengl_version="4.1",
+        al_ms=11.0,
+        al_cv=0.18,
+        cpu_demand=1.4,
+        memory_intensity=0.75,
+        working_set_mb=14.0,
+        cpu_memory_mb=3900.0,
+        base_l3_miss_rate=0.80,
+        render_ms=13.0,
+        render_cv=0.22,
+        gpu_profile=GpuWorkloadProfile(
+            base_l2_miss_rate=0.55,
+            base_texture_miss_rate=0.30,
+            gpu_memory_mb=760.0,
+        ),
+        upload_bytes_per_frame=0.5e6,
+        scene_change_mean=0.35,
+        scene_change_cv=0.25,
+        complexity_cv=0.20,
+        human_apm=220.0,
+        reaction_time_ms=170.0,
+        reaction_time_std_ms=40.0,
+    )
+
+    dynamics = SceneDynamics(
+        object_classes=(ObjectClass.TARGET, ObjectClass.UI_ELEMENT),
+        object_counts=(5, 2),
+        spawn_rate=1.5,
+        despawn_rate=1.0,
+        object_speed=0.12,
+        steer_class=ObjectClass.TARGET,
+        primary_class=ObjectClass.TARGET,
+        primary_trigger_distance=0.18,
+        viewpoint_sensitivity=0.40,
+    )

@@ -1,0 +1,67 @@
+"""Red Eclipse (RE) — open-source first-person arena shooter.
+
+Arena shooters run a comparatively light game simulation (small maps, a
+handful of actors) but push the GPU hard with fast camera motion and
+particle effects.  Red Eclipse therefore shows the lowest CPU utilization
+of the suite (≈68% in Figure 8) while its GPU share and scene-change rate
+sit near the top, and it tolerates colocation well — it is one of the
+three benchmarks that still clear 25 FPS with three instances per server
+(Figure 10).
+
+The scene exposes enemies (aim at them, fire when they cross the
+crosshair), pickups, and projectiles to dodge.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import Application3D, ApplicationProfile, InputKind, SceneDynamics
+from repro.graphics.frame import ObjectClass
+from repro.hardware.gpu import GpuWorkloadProfile
+
+__all__ = ["RedEclipse"]
+
+
+class RedEclipse(Application3D):
+    """First-person-shooter benchmark (Table 2, "Game: First-person Shoot")."""
+
+    profile = ApplicationProfile(
+        name="Red Eclipse",
+        short_name="RE",
+        genre="first-person shooter",
+        input_kind=InputKind.KEYBOARD_MOUSE,
+        open_source=True,
+        opengl_version="2.1",
+        al_ms=7.0,
+        al_cv=0.25,
+        cpu_demand=0.9,
+        memory_intensity=0.55,
+        working_set_mb=6.0,
+        cpu_memory_mb=1200.0,
+        base_l3_miss_rate=0.71,
+        render_ms=11.0,
+        render_cv=0.30,
+        gpu_profile=GpuWorkloadProfile(
+            base_l2_miss_rate=0.38,
+            base_texture_miss_rate=0.28,
+            gpu_memory_mb=650.0,
+        ),
+        upload_bytes_per_frame=0.8e6,
+        scene_change_mean=0.45,
+        scene_change_cv=0.35,
+        complexity_cv=0.28,
+        human_apm=420.0,
+        reaction_time_ms=180.0,
+        reaction_time_std_ms=45.0,
+    )
+
+    dynamics = SceneDynamics(
+        object_classes=(ObjectClass.ENEMY, ObjectClass.PICKUP, ObjectClass.PROJECTILE),
+        object_counts=(3, 2, 2),
+        spawn_rate=2.0,
+        despawn_rate=1.5,
+        object_speed=0.30,
+        steer_class=ObjectClass.ENEMY,
+        primary_class=ObjectClass.ENEMY,
+        primary_trigger_distance=0.15,
+        viewpoint_sensitivity=0.55,
+    )

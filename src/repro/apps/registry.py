@@ -1,0 +1,78 @@
+"""Registry of the benchmark suite.
+
+Pictor is designed to be extensible — new 3D applications can be added
+without modifying their source (Section 3.3) — so the registry exposes a
+simple name-based factory that the experiment harnesses, examples and
+tests all go through.  Third-party applications register themselves with
+:func:`register_benchmark`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Type
+
+from repro.apps.base import Application3D, ApplicationProfile
+from repro.apps.dota2 import Dota2
+from repro.apps.imhotep import Imhotep
+from repro.apps.inmind import InMind
+from repro.apps.redeclipse import RedEclipse
+from repro.apps.supertuxkart import SuperTuxKart
+from repro.apps.zeroad import ZeroAD
+from repro.sim.randomness import StreamRandom
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "BENCHMARK_SHORT_NAMES",
+    "all_benchmarks",
+    "create_benchmark",
+    "get_profile",
+    "register_benchmark",
+]
+
+_REGISTRY: dict[str, Type[Application3D]] = {}
+
+
+def register_benchmark(app_class: Type[Application3D]) -> Type[Application3D]:
+    """Add an application class to the registry (keyed by its short name)."""
+    short_name = app_class.profile.short_name
+    if not short_name:
+        raise ValueError(f"{app_class.__name__} has no short_name in its profile")
+    _REGISTRY[short_name] = app_class
+    return app_class
+
+
+for _app in (SuperTuxKart, ZeroAD, RedEclipse, Dota2, InMind, Imhotep):
+    register_benchmark(_app)
+
+#: Short names of the standard six-benchmark suite, in the paper's order.
+BENCHMARK_SHORT_NAMES: tuple[str, ...] = ("STK", "0AD", "RE", "D2", "IM", "ITP")
+
+#: Full names keyed by short name.
+BENCHMARK_NAMES: dict[str, str] = {
+    short: _REGISTRY[short].profile.name for short in BENCHMARK_SHORT_NAMES
+}
+
+
+def create_benchmark(short_name: str, rng: Optional[StreamRandom] = None,
+                     **kwargs) -> Application3D:
+    """Instantiate a benchmark application by its short name."""
+    try:
+        app_class = _REGISTRY[short_name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown benchmark {short_name!r}; known: {known}") from None
+    return app_class(rng=rng, **kwargs)
+
+
+def get_profile(short_name: str) -> ApplicationProfile:
+    """The static profile of a registered benchmark."""
+    try:
+        return _REGISTRY[short_name].profile
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown benchmark {short_name!r}; known: {known}") from None
+
+
+def all_benchmarks() -> list[str]:
+    """All registered short names (the standard suite plus extensions)."""
+    return list(_REGISTRY)

@@ -1,0 +1,70 @@
+"""SuperTuxKart (STK) — open-source kart-racing game.
+
+Racing games redraw essentially the whole screen every frame as the
+camera flies along the track, which gives STK the most distinctive
+behaviour in the paper's characterization: it is the only benchmark with
+substantial CPU→GPU PCIe upload traffic (Figure 9 — "likely due to its
+frequent and drastic changes in the rendered frames"), a high scene-change
+rate that makes its compressed frames large, and the highest
+contentiousness toward co-runners (Figure 19).
+
+The scene exposes the track ahead (whose centre the player steers
+toward), opposing karts, and item pickups that should be collected when
+they line up with the kart.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import Application3D, ApplicationProfile, InputKind, SceneDynamics
+from repro.graphics.frame import ObjectClass
+from repro.hardware.gpu import GpuWorkloadProfile
+
+__all__ = ["SuperTuxKart"]
+
+
+class SuperTuxKart(Application3D):
+    """Racing-game benchmark (Table 2, "Game: Racing")."""
+
+    profile = ApplicationProfile(
+        name="SuperTuxKart",
+        short_name="STK",
+        genre="racing",
+        input_kind=InputKind.KEYBOARD,
+        open_source=True,
+        opengl_version="4.3",
+        al_ms=13.0,
+        al_cv=0.22,
+        cpu_demand=1.7,
+        memory_intensity=0.70,
+        # The streaming uploads keep a large footprint live in the LLC, which
+        # is what makes SuperTuxKart the most contentious co-runner (Fig. 19).
+        working_set_mb=16.0,
+        cpu_memory_mb=1800.0,
+        base_l3_miss_rate=0.78,
+        render_ms=9.0,
+        render_cv=0.30,
+        gpu_profile=GpuWorkloadProfile(
+            base_l2_miss_rate=0.34,
+            base_texture_miss_rate=0.26,
+            gpu_memory_mb=720.0,
+        ),
+        upload_bytes_per_frame=3.5e6,
+        scene_change_mean=0.55,
+        scene_change_cv=0.30,
+        complexity_cv=0.25,
+        human_apm=360.0,
+        reaction_time_ms=200.0,
+        reaction_time_std_ms=55.0,
+    )
+
+    dynamics = SceneDynamics(
+        object_classes=(ObjectClass.TRACK, ObjectClass.OPPONENT, ObjectClass.PICKUP),
+        object_counts=(4, 3, 2),
+        spawn_rate=2.5,
+        despawn_rate=1.8,
+        object_speed=0.35,
+        steer_class=ObjectClass.TRACK,
+        primary_class=ObjectClass.PICKUP,
+        primary_trigger_distance=0.20,
+        viewpoint_sensitivity=0.50,
+    )

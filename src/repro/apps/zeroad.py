@@ -1,0 +1,70 @@
+"""0 A.D. (0AD) — open-source real-time strategy game.
+
+RTS games simulate hundreds of units on the CPU every frame, so 0AD has
+the longest application-logic stage of the suite and the lowest client
+FPS in the paper (27 FPS single-instance, the QoS floor in Figure 10).
+It is also the odd one out architecturally: it still uses OpenGL 1.3,
+which the vendor GPU-PMU tools cannot instrument, so its GPU cache miss
+rates are reported as unavailable (Figure 16 note).
+
+The scene exposes friendly units and buildings (the player keeps the
+camera over their units) and enemy raiders that should be attacked when
+they approach the centre of the view.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import Application3D, ApplicationProfile, InputKind, SceneDynamics
+from repro.graphics.frame import ObjectClass
+from repro.hardware.gpu import GpuWorkloadProfile
+
+__all__ = ["ZeroAD"]
+
+
+class ZeroAD(Application3D):
+    """Real-time-strategy benchmark (Table 2, "Game: Real-time Strategy")."""
+
+    profile = ApplicationProfile(
+        name="0 A.D.",
+        short_name="0AD",
+        genre="real-time strategy",
+        input_kind=InputKind.KEYBOARD_MOUSE,
+        open_source=True,
+        opengl_version="1.3",
+        al_ms=24.0,
+        al_cv=0.18,
+        cpu_demand=1.9,
+        memory_intensity=0.65,
+        # Mostly pointer-chasing game logic over a compact working set: 0 A.D.
+        # is the least contentious co-runner in the Figure 19 study.
+        working_set_mb=4.5,
+        cpu_memory_mb=2500.0,
+        base_l3_miss_rate=0.74,
+        render_ms=8.0,
+        render_cv=0.22,
+        gpu_profile=GpuWorkloadProfile(
+            base_l2_miss_rate=0.30,
+            base_texture_miss_rate=0.22,
+            gpu_memory_mb=520.0,
+            pmu_readable=False,
+        ),
+        upload_bytes_per_frame=0.6e6,
+        scene_change_mean=0.20,
+        scene_change_cv=0.40,
+        complexity_cv=0.18,
+        human_apm=260.0,
+        reaction_time_ms=260.0,
+        reaction_time_std_ms=80.0,
+    )
+
+    dynamics = SceneDynamics(
+        object_classes=(ObjectClass.UNIT, ObjectClass.BUILDING, ObjectClass.ENEMY),
+        object_counts=(6, 3, 2),
+        spawn_rate=1.2,
+        despawn_rate=0.8,
+        object_speed=0.08,
+        steer_class=ObjectClass.UNIT,
+        primary_class=ObjectClass.ENEMY,
+        primary_trigger_distance=0.30,
+        viewpoint_sensitivity=0.25,
+    )

@@ -1,0 +1,21 @@
+"""Client side of the cloud rendering system.
+
+The client machine is thin: it captures user inputs (from a human, from
+Pictor's intelligent client, or from one of the prior-work baselines),
+ships them to the server proxy, and decodes/displays the compressed
+frames that come back.  Pictor's hook1 and hook10 both live here, which
+is what lets the framework measure true end-to-end round-trip times at
+the client rather than inferring them from server-side stages.
+"""
+
+from repro.client.proxy import ClientProxy, ClientProxyConfig
+from repro.client.input_devices import InputDevice, Keyboard, Mouse, HeadMountedDisplay
+
+__all__ = [
+    "ClientProxy",
+    "ClientProxyConfig",
+    "HeadMountedDisplay",
+    "InputDevice",
+    "Keyboard",
+    "Mouse",
+]

@@ -1,0 +1,75 @@
+"""Interactive input devices attached to the client.
+
+The paper's benchmarks span keyboard-driven games, mouse-driven games and
+VR titles whose "input" is a continuous stream of head poses; TurboVNC
+had to be extended to carry the latter.  The device classes map an
+abstract :class:`~repro.apps.base.Action` onto the wire-level message
+kind and payload each device produces, which determines the RFB message
+type and size used on the uplink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.base import Action, InputKind
+from repro.network.packet import MessageKind
+
+__all__ = ["HeadMountedDisplay", "InputDevice", "Keyboard", "Mouse",
+           "device_for_input_kind"]
+
+
+@dataclass(frozen=True)
+class InputDevice:
+    """Base class: maps actions to protocol message kinds."""
+
+    name: str = "generic"
+
+    def message_kind(self, action: Action) -> MessageKind:
+        raise NotImplementedError
+
+    def describe(self, action: Action) -> str:
+        """Human-readable description of the action as this device emits it."""
+        return f"{self.name}:{action.steer:+.2f}/{action.pitch:+.2f}" + (
+            "+primary" if action.primary else "")
+
+
+@dataclass(frozen=True)
+class Keyboard(InputDevice):
+    """Arrow keys / WASD plus an action key."""
+
+    name: str = "keyboard"
+
+    def message_kind(self, action: Action) -> MessageKind:
+        return MessageKind.KEY_EVENT
+
+
+@dataclass(frozen=True)
+class Mouse(InputDevice):
+    """Pointer motion plus buttons."""
+
+    name: str = "mouse"
+
+    def message_kind(self, action: Action) -> MessageKind:
+        return MessageKind.POINTER_EVENT
+
+
+@dataclass(frozen=True)
+class HeadMountedDisplay(InputDevice):
+    """VR head-pose updates (the TurboVNC VR-input extension)."""
+
+    name: str = "hmd"
+
+    def message_kind(self, action: Action) -> MessageKind:
+        return MessageKind.HMD_EVENT
+
+
+def device_for_input_kind(input_kind: InputKind) -> InputDevice:
+    """Pick the device a benchmark's profile asks for."""
+    if input_kind is InputKind.HMD:
+        return HeadMountedDisplay()
+    if input_kind is InputKind.MOUSE:
+        return Mouse()
+    if input_kind is InputKind.KEYBOARD:
+        return Keyboard()
+    return Mouse()

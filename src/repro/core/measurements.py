@@ -1,0 +1,77 @@
+"""Distribution statistics shared by the tracker, monitors and experiments.
+
+The paper reports latency distributions as mean, 1st, 25th, 75th and 99th
+percentiles (Figure 6) and compares methodologies by the percentage error
+of their mean RTTs against the human-user baseline (Table 3); this module
+provides exactly those summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["LatencyStats", "percentage_error", "summarize"]
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of a latency distribution, Figure-6 style."""
+
+    count: int
+    mean: float
+    p1: float
+    p25: float
+    median: float
+    p75: float
+    p99: float
+    std: float
+
+    @staticmethod
+    def from_samples(samples: Sequence[float]) -> "LatencyStats":
+        values = np.asarray(list(samples), dtype=float)
+        if values.size == 0:
+            return LatencyStats(count=0, mean=0.0, p1=0.0, p25=0.0, median=0.0,
+                                p75=0.0, p99=0.0, std=0.0)
+        return LatencyStats(
+            count=int(values.size),
+            mean=float(values.mean()),
+            p1=float(np.percentile(values, 1)),
+            p25=float(np.percentile(values, 25)),
+            median=float(np.percentile(values, 50)),
+            p75=float(np.percentile(values, 75)),
+            p99=float(np.percentile(values, 99)),
+            std=float(values.std()),
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count, "mean": self.mean, "p1": self.p1,
+            "p25": self.p25, "median": self.median, "p75": self.p75,
+            "p99": self.p99, "std": self.std,
+        }
+
+    def scaled(self, factor: float) -> "LatencyStats":
+        """The same distribution with every statistic multiplied by ``factor``
+        (used to convert seconds to milliseconds for reporting)."""
+        return LatencyStats(
+            count=self.count, mean=self.mean * factor, p1=self.p1 * factor,
+            p25=self.p25 * factor, median=self.median * factor,
+            p75=self.p75 * factor, p99=self.p99 * factor, std=self.std * factor)
+
+
+def percentage_error(measured: float, reference: float) -> float:
+    """Absolute percentage error of ``measured`` against ``reference``.
+
+    This is the Table-3 metric: |measured − reference| / reference × 100.
+    """
+    if reference == 0:
+        raise ValueError("reference value must be non-zero")
+    return abs(measured - reference) / abs(reference) * 100.0
+
+
+def summarize(samples: Iterable[float]) -> dict[str, float]:
+    """Convenience wrapper returning the LatencyStats of ``samples`` as a dict."""
+    return LatencyStats.from_samples(list(samples)).as_dict()

@@ -1,0 +1,144 @@
+"""Frame-rate counters and system-level resource monitors.
+
+Pictor measures FPS by counting frames at the server proxy (frames
+generated) and at the client proxy (frames delivered), and samples
+system-level resource usage — CPU/GPU utilization, memory, PCIe and
+network bandwidth — from the OS and driver interfaces (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.hardware.machine import ServerMachine
+from repro.sim.engine import Environment
+
+__all__ = ["FpsCounter", "ResourceMonitor", "ResourceSample"]
+
+
+class FpsCounter:
+    """Counts frames observed at one point of the pipeline.
+
+    ``record_frame`` is called once per frame; FPS can then be reported
+    either for the whole run or for a sliding window of recent frames.
+    """
+
+    def __init__(self, env: Environment, name: str = "fps"):
+        self.env = env
+        self.name = name
+        self.timestamps: list[float] = []
+        self._started_at: Optional[float] = None
+
+    def start(self) -> None:
+        """Mark the start of the measurement interval (defaults to first frame)."""
+        self._started_at = self.env.now
+
+    def record_frame(self) -> None:
+        if self._started_at is None:
+            self._started_at = self.env.now
+        self.timestamps.append(self.env.now)
+
+    @property
+    def frame_count(self) -> int:
+        return len(self.timestamps)
+
+    def fps(self, elapsed: Optional[float] = None) -> float:
+        """Average frames per second over the measurement interval."""
+        if not self.timestamps:
+            return 0.0
+        if elapsed is None:
+            start = self._started_at if self._started_at is not None else self.timestamps[0]
+            elapsed = self.env.now - start
+        if elapsed <= 0:
+            return 0.0
+        return len(self.timestamps) / elapsed
+
+    def windowed_fps(self, window: float = 1.0) -> float:
+        """FPS over the most recent ``window`` seconds."""
+        if window <= 0:
+            raise ValueError("window must be positive")
+        cutoff = self.env.now - window
+        recent = [t for t in self.timestamps if t >= cutoff]
+        return len(recent) / window
+
+    def interframe_times(self) -> list[float]:
+        if len(self.timestamps) < 2:
+            return []
+        return list(np.diff(self.timestamps))
+
+
+@dataclass
+class ResourceSample:
+    """One periodic snapshot of server-level resource usage."""
+
+    timestamp: float
+    cpu_utilization_cores: float
+    gpu_utilization: float
+    gpu_memory_mb: float
+    pcie_to_gpu_bytes_per_s: float
+    pcie_from_gpu_bytes_per_s: float
+    l3_miss_rate: float
+    cpu_by_owner: dict[str, float] = field(default_factory=dict)
+
+
+class ResourceMonitor:
+    """Periodically samples a server machine's resource usage.
+
+    The monitor runs as a simulation process (like ``nvidia-smi`` /
+    ``/proc`` polling in the real framework) and keeps the full sample
+    series so experiments can report averages or time series.
+    """
+
+    def __init__(self, env: Environment, machine: ServerMachine,
+                 interval: float = 1.0):
+        if interval <= 0:
+            raise ValueError("sampling interval must be positive")
+        self.env = env
+        self.machine = machine
+        self.interval = interval
+        self.samples: list[ResourceSample] = []
+        self._process = None
+
+    def start(self) -> None:
+        """Begin periodic sampling."""
+        if self._process is None:
+            self._process = self.env.process(self._run())
+
+    def _run(self):
+        while True:
+            self.sample()
+            yield self.env.timeout(self.interval)
+
+    def sample(self) -> ResourceSample:
+        summary = self.machine.summary()
+        sample = ResourceSample(
+            timestamp=self.env.now,
+            cpu_utilization_cores=summary["cpu_utilization_cores"],
+            gpu_utilization=summary["gpu_utilization"],
+            gpu_memory_mb=summary["gpu_memory_mb"],
+            pcie_to_gpu_bytes_per_s=summary["pcie_to_gpu_bytes_per_s"],
+            pcie_from_gpu_bytes_per_s=summary["pcie_from_gpu_bytes_per_s"],
+            l3_miss_rate=summary["l3_miss_rate"],
+            cpu_by_owner=self.machine.cpu.utilization_by_owner(max(self.env.now, 1e-9)),
+        )
+        self.samples.append(sample)
+        return sample
+
+    # -- aggregates ---------------------------------------------------------------
+    def mean_cpu_utilization(self) -> float:
+        if not self.samples:
+            return 0.0
+        return float(np.mean([s.cpu_utilization_cores for s in self.samples]))
+
+    def mean_gpu_utilization(self) -> float:
+        if not self.samples:
+            return 0.0
+        return float(np.mean([s.gpu_utilization for s in self.samples]))
+
+    def final_sample(self) -> ResourceSample:
+        if not self.samples:
+            return self.sample()
+        return self.samples[-1]

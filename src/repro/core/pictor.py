@@ -1,0 +1,181 @@
+"""The top-level Pictor facade.
+
+``Pictor`` bundles the measurement framework's configuration and builds
+the per-session instrumentation (hook registry, input tracker, GPU time
+queries) that the rendering sessions attach to, without requiring any
+modification of the benchmark applications.  After a run it assembles a
+:class:`PerformanceReport` combining everything the paper's evaluation
+reports for a benchmark: RTT distribution and breakdowns, server/client
+FPS, resource utilization, and architecture-level counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core.hooks import HookRegistry
+from repro.core.measurements import LatencyStats
+from repro.core.tags import TagGenerator
+from repro.core.tracker import InputTracker
+
+__all__ = ["PerformanceReport", "Pictor", "PictorConfig", "SessionInstrumentation"]
+
+
+@dataclass(frozen=True)
+class PictorConfig:
+    """Configuration of the measurement framework."""
+
+    measurement_enabled: bool = True
+    double_buffered_queries: bool = True
+    hook_overhead_seconds: float = 80e-6
+    monitor_interval_seconds: float = 1.0
+
+    def disabled(self) -> "PictorConfig":
+        """The native (uninstrumented) configuration used for overhead runs."""
+        return PictorConfig(
+            measurement_enabled=False,
+            double_buffered_queries=self.double_buffered_queries,
+            hook_overhead_seconds=self.hook_overhead_seconds,
+            monitor_interval_seconds=self.monitor_interval_seconds,
+        )
+
+
+@dataclass
+class SessionInstrumentation:
+    """The per-session measurement objects Pictor installs."""
+
+    hooks: HookRegistry
+    tracker: InputTracker
+    double_buffered_queries: bool = True
+
+    @property
+    def enabled(self) -> bool:
+        return self.hooks.enabled
+
+
+@dataclass
+class PerformanceReport:
+    """Everything measured for one benchmark instance during one run."""
+
+    benchmark: str
+    duration: float
+    rtt: LatencyStats
+    rtt_breakdown: dict[str, float] = field(default_factory=dict)
+    server_breakdown: dict[str, float] = field(default_factory=dict)
+    application_breakdown: dict[str, float] = field(default_factory=dict)
+    server_fps: float = 0.0
+    client_fps: float = 0.0
+    cpu_utilization_cores: float = 0.0
+    vnc_cpu_utilization_cores: float = 0.0
+    gpu_utilization: float = 0.0
+    cpu_memory_mb: float = 0.0
+    gpu_memory_mb: float = 0.0
+    network_send_mbps: float = 0.0
+    network_receive_mbps: float = 0.0
+    pcie_to_gpu_gbps: float = 0.0
+    pcie_from_gpu_gbps: float = 0.0
+    cpu_pmu: dict[str, float] = field(default_factory=dict)
+    gpu_pmu: dict[str, Optional[float]] = field(default_factory=dict)
+    inputs_tracked: int = 0
+    inputs_completed: int = 0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def mean_rtt_ms(self) -> float:
+        return self.rtt.mean * 1e3
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "benchmark": self.benchmark,
+            "duration": self.duration,
+            "rtt": self.rtt.as_dict(),
+            "rtt_breakdown": dict(self.rtt_breakdown),
+            "server_breakdown": dict(self.server_breakdown),
+            "application_breakdown": dict(self.application_breakdown),
+            "server_fps": self.server_fps,
+            "client_fps": self.client_fps,
+            "cpu_utilization_cores": self.cpu_utilization_cores,
+            "vnc_cpu_utilization_cores": self.vnc_cpu_utilization_cores,
+            "gpu_utilization": self.gpu_utilization,
+            "cpu_memory_mb": self.cpu_memory_mb,
+            "gpu_memory_mb": self.gpu_memory_mb,
+            "network_send_mbps": self.network_send_mbps,
+            "network_receive_mbps": self.network_receive_mbps,
+            "pcie_to_gpu_gbps": self.pcie_to_gpu_gbps,
+            "pcie_from_gpu_gbps": self.pcie_from_gpu_gbps,
+            "cpu_pmu": dict(self.cpu_pmu),
+            "gpu_pmu": dict(self.gpu_pmu),
+            "inputs_tracked": self.inputs_tracked,
+            "inputs_completed": self.inputs_completed,
+        }
+
+
+class Pictor:
+    """Factory for session instrumentation and performance reports."""
+
+    def __init__(self, config: Optional[PictorConfig] = None):
+        self.config = config or PictorConfig()
+
+    def instrument_session(self, client_index: int = 0) -> SessionInstrumentation:
+        """Create the measurement objects for one benchmark instance.
+
+        ``client_index`` namespaces the input tags so several clients
+        driving the same server never collide.
+        """
+        hooks = HookRegistry(enabled=self.config.measurement_enabled,
+                             overhead_per_fire=self.config.hook_overhead_seconds)
+        tracker = InputTracker(TagGenerator(namespace=client_index))
+        return SessionInstrumentation(
+            hooks=hooks,
+            tracker=tracker,
+            double_buffered_queries=self.config.double_buffered_queries,
+        )
+
+    def build_report(self, session: Any, duration: float) -> PerformanceReport:
+        """Assemble a report from a finished rendering session.
+
+        ``session`` is duck-typed: any object exposing the attributes a
+        :class:`repro.server.session.RenderingSession` exposes (tracker,
+        FPS counters, machine handles, PMU readers) can be reported on.
+        """
+        tracker: InputTracker = session.tracker
+        report = PerformanceReport(
+            benchmark=session.app.profile.short_name,
+            duration=duration,
+            rtt=tracker.rtt_stats(),
+            rtt_breakdown=tracker.rtt_breakdown(),
+            server_breakdown=tracker.server_time_breakdown(),
+            application_breakdown=tracker.application_time_breakdown(),
+            server_fps=session.server_fps.fps(duration),
+            client_fps=session.client_fps.fps(duration),
+            inputs_tracked=tracker.tracked_inputs,
+            inputs_completed=tracker.completed_inputs,
+        )
+        elapsed = max(duration, 1e-9)
+        by_owner = session.machine.cpu.utilization_by_owner(elapsed)
+        report.cpu_utilization_cores = by_owner.get(session.app_owner, 0.0)
+        report.vnc_cpu_utilization_cores = by_owner.get(session.proxy_owner, 0.0)
+        report.gpu_utilization = session.render_context.utilization(elapsed)
+        report.cpu_memory_mb = session.app.profile.cpu_memory_mb
+        report.gpu_memory_mb = session.app.profile.gpu_profile.gpu_memory_mb
+        report.network_send_mbps = session.link.bandwidth_usage_mbps(
+            session.link.DOWNLINK, elapsed)
+        report.network_receive_mbps = session.link.bandwidth_usage_mbps(
+            session.link.UPLINK, elapsed)
+        report.pcie_to_gpu_gbps = session.per_instance_pcie_to_gpu_bytes(elapsed) / 1e9
+        report.pcie_from_gpu_gbps = session.per_instance_pcie_from_gpu_bytes(elapsed) / 1e9
+        report.cpu_pmu = session.cpu_pmu_reader.read().as_dict()
+        gpu_sample = session.gpu_pmu_reader.read()
+        report.gpu_pmu = {
+            "l2_miss_rate": gpu_sample.l2_miss_rate,
+            "texture_miss_rate": gpu_sample.texture_miss_rate,
+        }
+        report.extra["gpu_render_time_mean"] = session.gpu_timer.mean_gpu_time()
+        report.extra["hook_fires"] = session.hooks.total_fires()
+        # Expose the tracker so downstream methodologies (e.g. Chen et al.'s
+        # stage-sum reconstruction) can re-derive their own estimates from
+        # the same run.
+        report.extra["tracker"] = tracker
+        report.extra["stage_timings"] = session.stage_timings
+        return report

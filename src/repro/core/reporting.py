@@ -1,0 +1,54 @@
+"""Plain-text report formatting.
+
+The benchmark harnesses print the same rows/series the paper's tables and
+figures report; this module keeps that formatting in one place so every
+harness produces consistent, readable output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_percentage", "format_ms", "format_breakdown"]
+
+
+def format_ms(seconds: float, digits: int = 1) -> str:
+    """Format a duration in seconds as milliseconds."""
+    return f"{seconds * 1e3:.{digits}f}ms"
+
+
+def format_percentage(fraction: float, digits: int = 1) -> str:
+    """Format a fraction (0.57 → '57.0%')."""
+    return f"{fraction * 100:.{digits}f}%"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Render a simple aligned text table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_row(list(headers)))
+    lines.append(render_row(["-" * w for w in widths]))
+    lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_breakdown(breakdown: Mapping[str, float], unit: str = "ms",
+                     scale: float = 1e3) -> str:
+    """Render a stage → duration mapping as 'AL=12.3ms FC=20.1ms ...'."""
+    parts = [f"{stage}={value * scale:.1f}{unit}" for stage, value in breakdown.items()]
+    return " ".join(parts)

@@ -1,0 +1,148 @@
+"""Input tracking: associating user inputs with their response frames.
+
+The tracker is the heart of the performance analysis framework.  It owns
+the tag → :class:`InputRecord` table, listens to the hook registry, and
+answers the questions the evaluation asks: per-input RTT distributions
+(Figure 6), RTT breakdowns into network and server components
+(Figure 11), server-time breakdowns (Figure 12), and application-time
+breakdowns (Figure 13).
+
+It also understands the pipelined rendering of Figure 5: the response
+frame of an input rendered in pass *i* is copied and delivered during
+pass *i+1*, so an input's record stays open across two pipeline passes
+until hook10 finally matches the tagged frame at the client.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.core.measurements import LatencyStats
+from repro.core.tags import InputRecord, TagGenerator
+from repro.graphics.pipeline import Stage
+
+__all__ = ["InputTracker"]
+
+
+class InputTracker:
+    """Tracks every tagged input from capture to display."""
+
+    def __init__(self, tag_generator: Optional[TagGenerator] = None):
+        self.tags = tag_generator or TagGenerator()
+        self.records: dict[int, InputRecord] = {}
+        #: Inputs whose response frame has not yet reached the client.
+        self.outstanding: set[int] = set()
+
+    # -- record lifecycle -------------------------------------------------------
+    def create_record(self, kind: str, timestamp: float,
+                      payload: object = None) -> InputRecord:
+        """Hook1: a new input was captured at the client; give it a tag."""
+        tag = self.tags.next_tag()
+        record = InputRecord(tag=tag, kind=kind, created_at=timestamp,
+                             payload=payload)
+        record.mark_hook("hook1", timestamp)
+        self.records[tag] = record
+        self.outstanding.add(tag)
+        return record
+
+    def get(self, tag: int) -> InputRecord:
+        try:
+            return self.records[tag]
+        except KeyError:
+            raise KeyError(f"no record for tag {tag}") from None
+
+    def mark_hook(self, tag: int, hook_name: str, timestamp: float) -> None:
+        self.get(tag).mark_hook(hook_name, timestamp)
+
+    def record_stage(self, tag: int, stage: str, duration: float) -> None:
+        self.get(tag).record_stage(stage, duration)
+
+    def record_stage_for_tags(self, tags: Iterable[int], stage: str,
+                              duration: float) -> None:
+        """Charge one stage duration to every input it served.
+
+        A single pipeline pass typically serves several inputs (all those
+        polled before the frame's application logic), so stages like AL and
+        FC are attributed to each of them.
+        """
+        for tag in tags:
+            self.record_stage(tag, stage, duration)
+
+    def record_gpu_time(self, tag: int, gpu_time: float) -> None:
+        self.get(tag).gpu_render_time = gpu_time
+
+    def complete(self, tag: int, timestamp: float,
+                 frame_id: Optional[int] = None) -> InputRecord:
+        """Hook10: the tagged response frame arrived back at the client."""
+        record = self.get(tag)
+        record.mark_hook("hook10", timestamp)
+        record.complete(timestamp, frame_id)
+        self.outstanding.discard(tag)
+        return record
+
+    # -- aggregate views -------------------------------------------------------------
+    def completed_records(self) -> list[InputRecord]:
+        return [r for r in self.records.values() if r.is_complete]
+
+    def rtts(self) -> list[float]:
+        return [r.rtt for r in self.completed_records() if r.rtt is not None]
+
+    def rtt_stats(self) -> LatencyStats:
+        return LatencyStats.from_samples(self.rtts())
+
+    def mean_rtt(self) -> float:
+        rtts = self.rtts()
+        return float(np.mean(rtts)) if rtts else 0.0
+
+    def stage_means(self) -> dict[str, float]:
+        """Mean duration of every observed stage across completed inputs."""
+        sums: dict[str, list[float]] = {}
+        for record in self.completed_records():
+            for stage, duration in record.stage_durations.items():
+                sums.setdefault(stage, []).append(duration)
+        return {stage: float(np.mean(values)) for stage, values in sums.items()}
+
+    def rtt_breakdown(self) -> dict[str, float]:
+        """Mean RTT split into input-network, server, and frame-network parts."""
+        means = self.stage_means()
+        server = sum(means.get(stage, 0.0) for stage in Stage.SERVER_STAGES
+                     if stage != Stage.RD)
+        return {
+            "input_network": means.get(Stage.CS, 0.0),
+            "server": server,
+            "frame_network": means.get(Stage.SS, 0.0),
+            "client": means.get(Stage.CD, 0.0),
+        }
+
+    def server_time_breakdown(self) -> dict[str, float]:
+        """Mean server time split the way Figure 12 presents it."""
+        means = self.stage_means()
+        application = sum(means.get(stage, 0.0)
+                          for stage in (Stage.AL, Stage.FC))
+        return {
+            "proxy_send_input": means.get(Stage.PS, 0.0),
+            "application": application,
+            "app_send_frame": means.get(Stage.AS, 0.0),
+            "compression": means.get(Stage.CP, 0.0),
+        }
+
+    def application_time_breakdown(self) -> dict[str, float]:
+        """Mean application time split the way Figure 13 presents it."""
+        means = self.stage_means()
+        gpu_times = [r.gpu_render_time for r in self.completed_records()
+                     if r.gpu_render_time is not None]
+        return {
+            "application_logic": means.get(Stage.AL, 0.0),
+            "frame_copy": means.get(Stage.FC, 0.0),
+            "gpu_render": float(np.mean(gpu_times)) if gpu_times else means.get(Stage.RD, 0.0),
+        }
+
+    @property
+    def tracked_inputs(self) -> int:
+        return len(self.records)
+
+    @property
+    def completed_inputs(self) -> int:
+        return len(self.completed_records())

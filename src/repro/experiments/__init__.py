@@ -1,0 +1,37 @@
+"""Experiment generators: one per table/figure of the paper's evaluation.
+
+Every module exposes functions that run the relevant testbed
+configuration and return structured rows mirroring what the paper
+reports; the ``benchmarks/`` harnesses call them and print the rows.
+Durations and training budgets are parameters so the same generators can
+run in a quick CI-friendly mode or a longer, lower-variance mode.
+
+| Paper artefact | Module / function |
+|---|---|
+| Figure 6 / Table 3 (methodology accuracy) | :func:`repro.experiments.accuracy.methodology_accuracy` |
+| Figure 7 (inference times)                | :func:`repro.experiments.accuracy.inference_times` |
+| Section 4 overhead                        | :func:`repro.experiments.overhead.framework_overhead` |
+| Figure 8 (CPU/GPU utilization)            | :func:`repro.experiments.characterization.utilization` |
+| Figure 9 (network/PCIe bandwidth)         | :func:`repro.experiments.characterization.bandwidth` |
+| Figures 10–13 (FPS/RTT/server/app scaling)| :mod:`repro.experiments.scaling` |
+| Figures 14–16 (Top-Down, L3, GPU caches)  | :mod:`repro.experiments.architecture` |
+| Figure 17 (per-instance power)            | :func:`repro.experiments.power.per_instance_power` |
+| Figures 18–19 (mixed pairs)               | :mod:`repro.experiments.mixed` |
+| Figure 20 (container overhead)            | :func:`repro.experiments.containers.container_overhead` |
+| Figures 21–22 (optimizations)             | :func:`repro.experiments.optimizations.optimization_improvements` |
+| Table 4 (feature comparison)              | :func:`repro.experiments.feature_matrix.feature_matrix` |
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    run_colocated,
+    run_mixed_pair,
+    run_single,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "run_colocated",
+    "run_mixed_pair",
+    "run_single",
+]

@@ -1,0 +1,99 @@
+"""Table 4: capability comparison of VDI / cloud-gaming benchmarking tools.
+
+Table 4 is a qualitative feature matrix; reproducing it means encoding
+which capability each prior tool offers and verifying that Pictor is the
+only one providing all of them.  The rows also serve as documentation of
+what the rest of this repository actually implements (each Pictor
+capability maps to a module).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FEATURES", "TOOLS", "ToolCapabilities", "feature_matrix",
+           "pictor_only_features"]
+
+#: The capability rows of Table 4, in the paper's order.
+FEATURES: tuple[str, ...] = (
+    "random_ui_objects_tolerant",
+    "varying_net_latency_tolerant",
+    "user_input_tracking",
+    "cpu_perf_measurement",
+    "network_perf_measurement",
+    "gpu_perf_measurement",
+    "pcie_frame_copy_measurement",
+    "unaltered_3d_app_behaviors",
+)
+
+
+@dataclass(frozen=True)
+class ToolCapabilities:
+    """One column of Table 4."""
+
+    name: str
+    capabilities: frozenset[str]
+
+    def supports(self, feature: str) -> bool:
+        if feature not in FEATURES:
+            raise KeyError(f"unknown feature {feature!r}")
+        return feature in self.capabilities
+
+
+#: Prior tools and the capabilities the paper credits them with.
+TOOLS: tuple[ToolCapabilities, ...] = (
+    ToolCapabilities("VNCPlay", frozenset({
+        "varying_net_latency_tolerant", "cpu_perf_measurement"})),
+    ToolCapabilities("Chen et al.", frozenset({
+        "random_ui_objects_tolerant", "varying_net_latency_tolerant",
+        "cpu_perf_measurement", "network_perf_measurement",
+        "unaltered_3d_app_behaviors"})),
+    ToolCapabilities("Slow-Motion", frozenset({
+        "user_input_tracking", "cpu_perf_measurement",
+        "network_perf_measurement"})),
+    ToolCapabilities("Login-VSI", frozenset({
+        "cpu_perf_measurement", "unaltered_3d_app_behaviors"})),
+    ToolCapabilities("DeskBench", frozenset({
+        "varying_net_latency_tolerant", "cpu_perf_measurement",
+        "network_perf_measurement", "unaltered_3d_app_behaviors"})),
+    ToolCapabilities("VDBench", frozenset({
+        "cpu_perf_measurement", "network_perf_measurement",
+        "unaltered_3d_app_behaviors"})),
+    ToolCapabilities("Dusi et al.", frozenset({
+        "network_perf_measurement", "unaltered_3d_app_behaviors"})),
+    ToolCapabilities("Pictor", frozenset(FEATURES)),
+)
+
+#: Where each Pictor capability is implemented in this repository.
+PICTOR_FEATURE_MODULES: dict[str, str] = {
+    "random_ui_objects_tolerant": "repro.agents.intelligent_client",
+    "varying_net_latency_tolerant": "repro.agents.intelligent_client",
+    "user_input_tracking": "repro.core.tracker",
+    "cpu_perf_measurement": "repro.core.pmu",
+    "network_perf_measurement": "repro.network.link",
+    "gpu_perf_measurement": "repro.core.gpu_timer",
+    "pcie_frame_copy_measurement": "repro.hardware.pcie",
+    "unaltered_3d_app_behaviors": "repro.core.hooks",
+}
+
+
+def feature_matrix() -> list[dict[str, object]]:
+    """Table 4 as rows: one dict per feature, one key per tool."""
+    rows = []
+    for feature in FEATURES:
+        row: dict[str, object] = {"feature": feature}
+        for tool in TOOLS:
+            row[tool.name] = tool.supports(feature)
+        rows.append(row)
+    return rows
+
+
+def pictor_only_features() -> list[str]:
+    """Capabilities no prior tool offers (GPU and PCIe measurement, etc.)."""
+    only = []
+    for feature in FEATURES:
+        others = [tool for tool in TOOLS
+                  if tool.name != "Pictor" and tool.supports(feature)]
+        if not others:
+            only.append(feature)
+    return only

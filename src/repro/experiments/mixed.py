@@ -1,0 +1,127 @@
+"""Figures 18–19 and the Section 5.3 energy argument: mixed benchmark pairs.
+
+Fifteen unordered pairs can be formed from the six benchmarks.  Figure 18
+reports the client FPS of both members of each pair; Figure 19 zooms in
+on Dota 2, reporting its performance loss and CPU/GPU cache-miss-rate
+increases as a function of which benchmark shares the server — the
+paper's illustration that application contentiousness varies widely and
+correlates across the CPU and GPU cache hierarchies.  Section 5.3 also
+notes that sharing one server saves at least ~37% energy compared with
+running the two applications on two servers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Optional
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_mixed_pair, run_single
+
+__all__ = ["ContentiousnessRow", "PairResult", "all_pairs", "pair_fps",
+           "contentiousness", "pair_energy_saving"]
+
+
+def all_pairs(benchmarks=None) -> list[tuple[str, str]]:
+    """The 15 unordered benchmark pairs, in a stable order."""
+    benchmarks = list(benchmarks or
+                      ("STK", "0AD", "RE", "D2", "IM", "ITP"))
+    return list(combinations(benchmarks, 2))
+
+
+@dataclass
+class PairResult:
+    """Client FPS (and supporting data) for one mixed pair."""
+
+    pair: tuple[str, str]
+    client_fps: dict[str, float] = field(default_factory=dict)
+    server_fps: dict[str, float] = field(default_factory=dict)
+    total_power_watts: float = 0.0
+
+    @property
+    def both_meet_qos(self) -> bool:
+        """Whether both members stay above the 25-FPS QoS floor."""
+        return all(fps >= 25.0 for fps in self.client_fps.values())
+
+
+@dataclass
+class ContentiousnessRow:
+    """Figure 19: Dota 2's sensitivity to one co-runner."""
+
+    target: str
+    co_runner: str
+    performance_loss_percent: float
+    cpu_cache_miss_increase: float
+    gpu_cache_miss_increase: Optional[float]
+
+
+def pair_fps(config: Optional[ExperimentConfig] = None,
+             pairs=None) -> list[PairResult]:
+    """Figure 18: client FPS for every mixed pair."""
+    config = config or ExperimentConfig()
+    pairs = pairs or all_pairs(config.benchmarks)
+    results = []
+    for index, (left, right) in enumerate(pairs):
+        run = run_mixed_pair(left, right, config, seed_offset=300 + index)
+        left_report, right_report = run.reports
+        results.append(PairResult(
+            pair=(left, right),
+            client_fps={left: left_report.client_fps, right: right_report.client_fps},
+            server_fps={left: left_report.server_fps, right: right_report.server_fps},
+            total_power_watts=run.average_power_watts,
+        ))
+    return results
+
+
+def contentiousness(target: str = "D2", config: Optional[ExperimentConfig] = None,
+                    co_runners=None) -> list[ContentiousnessRow]:
+    """Figure 19: the target benchmark's sensitivity to each co-runner."""
+    config = config or ExperimentConfig()
+    co_runners = list(co_runners or [b for b in config.benchmarks if b != target])
+
+    solo = run_single(target, config, seed_offset=400)
+    solo_report = solo.reports[0]
+    solo_fps = solo_report.client_fps
+    solo_l3 = solo_report.cpu_pmu.get("l3_miss_rate", 0.0)
+    solo_gpu = solo_report.gpu_pmu.get("l2_miss_rate")
+
+    rows = []
+    for index, co_runner in enumerate(co_runners):
+        run = run_mixed_pair(target, co_runner, config, seed_offset=410 + index)
+        target_report = run.reports[0]
+        loss = 0.0
+        if solo_fps > 0:
+            loss = max(0.0, (solo_fps - target_report.client_fps) / solo_fps * 100.0)
+        l3_increase = target_report.cpu_pmu.get("l3_miss_rate", 0.0) - solo_l3
+        gpu_l2 = target_report.gpu_pmu.get("l2_miss_rate")
+        gpu_increase = None
+        if gpu_l2 is not None and solo_gpu is not None:
+            gpu_increase = gpu_l2 - solo_gpu
+        rows.append(ContentiousnessRow(
+            target=target, co_runner=co_runner,
+            performance_loss_percent=loss,
+            cpu_cache_miss_increase=l3_increase,
+            gpu_cache_miss_increase=gpu_increase,
+        ))
+    return rows
+
+
+def pair_energy_saving(pair: tuple[str, str],
+                       config: Optional[ExperimentConfig] = None) -> dict[str, float]:
+    """Energy comparison: the pair on one server vs. each app on its own server."""
+    config = config or ExperimentConfig()
+    left, right = pair
+    shared = run_mixed_pair(left, right, config, seed_offset=500)
+    solo_left = run_single(left, config, seed_offset=501)
+    solo_right = run_single(right, config, seed_offset=502)
+    separate_power = solo_left.average_power_watts + solo_right.average_power_watts
+    shared_power = shared.average_power_watts
+    saving = 0.0
+    if separate_power > 0:
+        saving = (1.0 - shared_power / separate_power) * 100.0
+    return {
+        "shared_power_watts": shared_power,
+        "separate_power_watts": separate_power,
+        "energy_saving_percent": saving,
+    }

@@ -1,0 +1,83 @@
+"""Shared testbed-construction helpers used by every experiment generator."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.pictor import PictorConfig
+from repro.experiments.config import ExperimentConfig
+from repro.graphics.pipeline import PipelineConfig
+from repro.server.host import CloudHost, HostConfig, HostResult
+from repro.server.session import SessionConfig
+
+__all__ = ["build_host", "run_colocated", "run_mixed_pair", "run_single"]
+
+
+def build_host(config: ExperimentConfig, seed_offset: int = 0,
+               containerized: bool = False,
+               measurement_enabled: bool = True,
+               double_buffered_queries: bool = True) -> CloudHost:
+    """Create an empty testbed host with the experiment's settings."""
+    host_config = HostConfig(
+        seed=config.seed + seed_offset,
+        pictor=PictorConfig(measurement_enabled=measurement_enabled,
+                            double_buffered_queries=double_buffered_queries),
+        containerized=containerized,
+    )
+    return CloudHost(host_config)
+
+
+def make_session_config(optimized: bool = False,
+                        measurement_enabled: bool = True,
+                        double_buffered_queries: bool = True,
+                        slow_motion: bool = False) -> SessionConfig:
+    """Build a session configuration for the common experiment variants."""
+    pipeline = PipelineConfig(
+        measurement_enabled=measurement_enabled,
+        double_buffered_queries=double_buffered_queries,
+        memoize_window_attributes=optimized,
+        two_step_frame_copy=optimized,
+    )
+    session = SessionConfig(pipeline=pipeline, slow_motion=slow_motion)
+    return session
+
+
+def run_single(benchmark: str, config: ExperimentConfig,
+               agent_factory: Optional[Callable] = None,
+               session_config: Optional[SessionConfig] = None,
+               seed_offset: int = 0,
+               containerized: bool = False,
+               measurement_enabled: bool = True,
+               double_buffered_queries: bool = True) -> HostResult:
+    """Run one benchmark instance alone on the server."""
+    host = build_host(config, seed_offset=seed_offset, containerized=containerized,
+                      measurement_enabled=measurement_enabled,
+                      double_buffered_queries=double_buffered_queries)
+    host.add_instance(benchmark, agent_factory=agent_factory,
+                      session_config=session_config)
+    return host.run(duration=config.duration_s, warmup=config.warmup_s)
+
+
+def run_colocated(benchmark: str, instances: int, config: ExperimentConfig,
+                  agent_factory: Optional[Callable] = None,
+                  session_config: Optional[SessionConfig] = None,
+                  seed_offset: int = 0,
+                  containerized: bool = False) -> HostResult:
+    """Run ``instances`` copies of the same benchmark on one server."""
+    if instances < 1:
+        raise ValueError("instances must be at least 1")
+    host = build_host(config, seed_offset=seed_offset, containerized=containerized)
+    for _ in range(instances):
+        host.add_instance(benchmark, agent_factory=agent_factory,
+                          session_config=session_config)
+    return host.run(duration=config.duration_s, warmup=config.warmup_s)
+
+
+def run_mixed_pair(benchmark_a: str, benchmark_b: str, config: ExperimentConfig,
+                   seed_offset: int = 0,
+                   containerized: bool = False) -> HostResult:
+    """Run two different benchmarks together on one server (Section 5.3)."""
+    host = build_host(config, seed_offset=seed_offset, containerized=containerized)
+    host.add_instance(benchmark_a)
+    host.add_instance(benchmark_b)
+    return host.run(duration=config.duration_s, warmup=config.warmup_s)

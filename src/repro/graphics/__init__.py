@@ -1,0 +1,36 @@
+"""Graphics substrate: frames, GL command layer, X events, interposer, codecs.
+
+This package models the open-source Linux graphics stack the paper
+instruments — Mesa-style GL entry points, the X window/event layer, the
+VirtualGL-style graphics interposer that reads frames back from the GPU,
+and the frame compression performed by the VNC proxy — at the API
+granularity that Pictor's hooks observe (Table 1 / Figure 4).
+"""
+
+from repro.graphics.compression import Codec, RawCodec, TightCodec
+from repro.graphics.frame import Frame, SceneObject, ObjectClass
+from repro.graphics.framebuffer import Framebuffer
+from repro.graphics.opengl import GlContext, GlQuery
+from repro.graphics.pipeline import STAGES, PipelineConfig, StageTimings
+from repro.graphics.xserver import XDisplay, XEvent, XWindow
+from repro.graphics.interposer import GraphicsInterposer, InterposerConfig
+
+__all__ = [
+    "Codec",
+    "Frame",
+    "Framebuffer",
+    "GlContext",
+    "GlQuery",
+    "GraphicsInterposer",
+    "InterposerConfig",
+    "ObjectClass",
+    "PipelineConfig",
+    "RawCodec",
+    "STAGES",
+    "SceneObject",
+    "StageTimings",
+    "TightCodec",
+    "XDisplay",
+    "XEvent",
+    "XWindow",
+]

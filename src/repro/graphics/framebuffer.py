@@ -1,0 +1,54 @@
+"""Double-buffered framebuffer shared between the application and the GPU.
+
+The application draws into the *back* buffer; ``swap`` makes the freshly
+rendered frame the *front* buffer that the interposer reads back.  The
+framebuffer also remembers the frame that is currently being copied so
+the two-step copy optimization (Section 6) can overlap a copy of frame
+``i-1`` with the application logic of frame ``i+1``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.graphics.frame import Frame
+
+__all__ = ["Framebuffer"]
+
+
+class Framebuffer:
+    """Front/back buffer pair for one rendering window."""
+
+    def __init__(self, width: int = 1920, height: int = 1080):
+        if width <= 0 or height <= 0:
+            raise ValueError("framebuffer resolution must be positive")
+        self.width = width
+        self.height = height
+        self.front: Optional[Frame] = None
+        self.back: Optional[Frame] = None
+        self.swap_count = 0
+
+    def attach_back(self, frame: Frame) -> None:
+        """Bind a newly produced frame as the back buffer."""
+        if frame.width != self.width or frame.height != self.height:
+            raise ValueError(
+                f"frame resolution {frame.width}x{frame.height} does not match "
+                f"framebuffer {self.width}x{self.height}")
+        self.back = frame
+
+    def swap(self) -> Optional[Frame]:
+        """Swap buffers; returns the frame that became the front buffer."""
+        if self.back is None:
+            return self.front
+        self.front, self.back = self.back, None
+        self.swap_count += 1
+        return self.front
+
+    def resize(self, width: int, height: int) -> None:
+        """Change the window resolution (rare during gameplay)."""
+        if width <= 0 or height <= 0:
+            raise ValueError("framebuffer resolution must be positive")
+        self.width = width
+        self.height = height
+        self.front = None
+        self.back = None

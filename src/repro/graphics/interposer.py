@@ -1,0 +1,108 @@
+"""Graphics interposer (the VirtualGL analogue).
+
+VirtualGL is preloaded into the application process to force GL rendering
+onto the server GPU and to read rendered frames back for delivery to the
+VNC proxy.  It is the component the two Section-6 optimizations modify:
+
+* it calls ``XGetWindowAttributes`` before every frame copy just to learn
+  the window resolution (6–9 ms each time) — optimization 1 memoizes it;
+* the baseline copy blocks the application thread until the PCIe DMA
+  completes — optimization 2 splits the copy into asynchronous start /
+  finish halves (Figure 21).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.graphics.frame import Frame
+from repro.graphics.opengl import GlContext
+from repro.graphics.xserver import XDisplay, XWindow
+from repro.hardware.cpu import CpuThread
+from repro.sim.engine import Environment, Process
+from repro.sim.resources import Store
+
+__all__ = ["GraphicsInterposer", "InterposerConfig"]
+
+
+@dataclass(frozen=True)
+class InterposerConfig:
+    """Behavioural switches of the interposer (mirrors PipelineConfig)."""
+
+    memoize_window_attributes: bool = False
+    two_step_frame_copy: bool = False
+
+
+class GraphicsInterposer:
+    """Per-application interposer sitting between the app, GL and X."""
+
+    def __init__(self, env: Environment, gl: GlContext, xdisplay: XDisplay,
+                 window: XWindow, config: Optional[InterposerConfig] = None):
+        self.env = env
+        self.gl = gl
+        self.xdisplay = xdisplay
+        self.window = window
+        self.config = config or InterposerConfig()
+        self._cached_attributes: Optional[dict] = None
+        self._cached_resize_count = -1
+        self._inflight_copies: dict[int, Process] = {}
+        self.frames_copied = 0
+        self.attribute_queries_avoided = 0
+
+    # -- window attribute handling -----------------------------------------------
+    def query_window_attributes(self, thread: CpuThread):
+        """Generator: obtain window geometry, memoized when enabled.
+
+        The cache is invalidated when the window's resize counter changes,
+        which the real optimization detects by watching X resize events at
+        hook4.
+        """
+        cache_valid = (self._cached_attributes is not None
+                       and self._cached_resize_count == self.window.resize_count)
+        if self.config.memoize_window_attributes and cache_valid:
+            self.attribute_queries_avoided += 1
+            return self._cached_attributes
+        attributes = yield from self.xdisplay.get_window_attributes(self.window, thread)
+        self._cached_attributes = attributes
+        self._cached_resize_count = self.window.resize_count
+        return attributes
+
+    # -- frame copy (stage FC) ------------------------------------------------------
+    def copy_frame(self, frame: Frame, thread: CpuThread):
+        """Generator: the baseline blocking frame copy.
+
+        Queries the window attributes, then blocks on glReadPixels until
+        the frame has crossed the PCIe bus.
+        """
+        yield from self.query_window_attributes(thread)
+        yield from self.gl.read_pixels(frame)
+        self.frames_copied += 1
+        return frame
+
+    def start_frame_copy(self, frame: Frame, thread: CpuThread) -> Process:
+        """Optimization 2, first half: issue the copy and return immediately.
+
+        The attribute query (possibly memoized) still happens synchronously
+        — it is cheap once optimization 1 is on — but the PCIe transfer runs
+        in its own process so the application thread is free to continue.
+        """
+        return self.env.process(self._async_copy(frame, thread))
+
+    def _async_copy(self, frame: Frame, thread: CpuThread):
+        yield from self.query_window_attributes(thread)
+        yield from self.gl.read_pixels(frame)
+        self.frames_copied += 1
+        return frame
+
+    def finish_frame_copy(self, copy_process: Process):
+        """Optimization 2, second half: wait for an earlier start to complete."""
+        if copy_process.is_alive:
+            yield copy_process
+        return copy_process.value
+
+    # -- frame delivery (stage AS) ------------------------------------------------------
+    def deliver_frame(self, frame: Frame, proxy_inbox: Store, thread: CpuThread):
+        """Generator: hand the copied frame to the VNC proxy via MIT-SHM."""
+        yield from self.xdisplay.shm_put_image(frame, proxy_inbox, thread)
+        return frame

@@ -1,0 +1,96 @@
+"""Machine composition: server and client boxes used in the experiments.
+
+``ServerMachine`` mirrors the paper's testbed server (8-core i7-7820X,
+16 GB RAM, GTX 1080 Ti, one 1 Gbps NIC per instance) and wires together
+the CPU, memory system, GPU, PCIe bus and power meter.  ``ClientMachine``
+models the thin clients (4-core i5-7400) that run the intelligent client
+or display frames for a human user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.hardware.cpu import Cpu, CpuSpec
+from repro.hardware.gpu import Gpu, GpuSpec
+from repro.hardware.memory import MemorySpec, MemorySystem
+from repro.hardware.pcie import PcieBus, PcieSpec
+from repro.hardware.power import PowerMeter, PowerModel, PowerSpec
+from repro.sim.engine import Environment
+
+__all__ = ["ClientMachine", "MachineSpec", "ServerMachine"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Full static description of a server machine."""
+
+    cpu: CpuSpec = field(default_factory=CpuSpec)
+    memory: MemorySpec = field(default_factory=MemorySpec)
+    gpu: GpuSpec = field(default_factory=GpuSpec)
+    pcie: PcieSpec = field(default_factory=PcieSpec)
+    power: PowerSpec = field(default_factory=PowerSpec)
+
+    @staticmethod
+    def paper_server() -> "MachineSpec":
+        """The evaluation server from Section 4."""
+        return MachineSpec(
+            cpu=CpuSpec(cores=8, frequency_ghz=3.6, l3_mb=11.0),
+            memory=MemorySpec(l3_mb=11.0, dram_gb=16.0),
+            gpu=GpuSpec(memory_gb=11.0),
+            pcie=PcieSpec(bandwidth_gbps=31.5),
+            power=PowerSpec(),
+        )
+
+    @staticmethod
+    def paper_client() -> "MachineSpec":
+        """The client machines from Section 4 (4-core i5-7400, 8 GB)."""
+        return MachineSpec(
+            cpu=CpuSpec(cores=4, frequency_ghz=3.0, l3_mb=6.0),
+            memory=MemorySpec(l3_mb=6.0, dram_gb=8.0),
+            gpu=GpuSpec(memory_gb=1.0),
+            pcie=PcieSpec(bandwidth_gbps=15.75),
+            power=PowerSpec(idle_watts=30.0, cpu_watts_per_core=6.0,
+                            gpu_max_dynamic_watts=20.0, per_instance_watts=2.0),
+        )
+
+
+class ServerMachine:
+    """A cloud rendering server: CPU + memory + GPU + PCIe + power meter."""
+
+    def __init__(self, env: Environment, spec: Optional[MachineSpec] = None,
+                 name: str = "server"):
+        self.env = env
+        self.name = name
+        self.spec = spec or MachineSpec.paper_server()
+        self.memory = MemorySystem(env, self.spec.memory)
+        self.cpu = Cpu(env, self.spec.cpu, memory=self.memory)
+        self.gpu = Gpu(env, self.spec.gpu)
+        self.pcie = PcieBus(env, self.spec.pcie)
+        self.power_meter = PowerMeter(env, PowerModel(self.spec.power),
+                                      self.cpu, self.gpu)
+
+    def summary(self, elapsed: Optional[float] = None) -> dict[str, float]:
+        """One-line machine-level counters, used by the resource monitors."""
+        horizon = elapsed if elapsed is not None else self.env.now
+        return {
+            "cpu_utilization_cores": self.cpu.utilization(horizon),
+            "gpu_utilization": self.gpu.utilization(horizon),
+            "gpu_memory_mb": self.gpu.allocated_memory_mb,
+            "pcie_to_gpu_bytes_per_s": self.pcie.bandwidth_usage("to_gpu", horizon),
+            "pcie_from_gpu_bytes_per_s": self.pcie.bandwidth_usage("from_gpu", horizon),
+            "l3_miss_rate": self.memory.observed_miss_rate(),
+        }
+
+
+class ClientMachine:
+    """A thin client machine: it only needs a CPU for decode + the agent."""
+
+    def __init__(self, env: Environment, spec: Optional[MachineSpec] = None,
+                 name: str = "client"):
+        self.env = env
+        self.name = name
+        self.spec = spec or MachineSpec.paper_client()
+        self.memory = MemorySystem(env, self.spec.memory)
+        self.cpu = Cpu(env, self.spec.cpu, memory=self.memory)

@@ -1,0 +1,122 @@
+"""Server power model and wall-power meter.
+
+The paper measures whole-server power with an external clamp meter and
+reports that each additional colocated instance adds less than ~20% to
+total draw, so per-instance power falls by roughly 33%, 50% and 61% at
+two, three and four instances (Figure 17).  That amortization comes from
+the large idle floor of a GPU server: the model therefore splits power
+into an idle component plus dynamic components proportional to CPU and
+GPU utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.engine import Environment
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.cpu import Cpu
+    from repro.hardware.gpu import Gpu
+
+__all__ = ["PowerMeter", "PowerModel", "PowerSpec"]
+
+
+@dataclass(frozen=True)
+class PowerSpec:
+    """Static power characteristics of one server machine."""
+
+    # GPU servers have a high idle floor (PSU losses, fans, idle GPU/DRAM
+    # clocks); the dynamic range above it is comparatively small, which is
+    # what makes consolidation so effective in Figure 17.
+    idle_watts: float = 200.0
+    cpu_watts_per_core: float = 7.0
+    gpu_max_dynamic_watts: float = 70.0
+    # Fixed per-instance overhead (NIC, extra fans, proxy processes).
+    per_instance_watts: float = 5.0
+
+    def __post_init__(self) -> None:
+        for name in ("idle_watts", "cpu_watts_per_core",
+                     "gpu_max_dynamic_watts", "per_instance_watts"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} cannot be negative")
+
+
+class PowerModel:
+    """Computes instantaneous and average server power from utilization."""
+
+    def __init__(self, spec: Optional[PowerSpec] = None):
+        self.spec = spec or PowerSpec()
+
+    def average_power(self, cpu_cores_busy: float, gpu_utilization: float,
+                      instances: int) -> float:
+        """Average wall power for a run with the given average utilizations."""
+        if cpu_cores_busy < 0 or gpu_utilization < 0 or instances < 0:
+            raise ValueError("utilizations and instance counts cannot be negative")
+        dynamic_cpu = self.spec.cpu_watts_per_core * cpu_cores_busy
+        dynamic_gpu = self.spec.gpu_max_dynamic_watts * min(1.0, gpu_utilization)
+        return (self.spec.idle_watts + dynamic_cpu + dynamic_gpu
+                + self.spec.per_instance_watts * instances)
+
+    def per_instance_power(self, cpu_cores_busy: float, gpu_utilization: float,
+                           instances: int) -> float:
+        """Average power attributed to each of ``instances`` colocated apps."""
+        if instances <= 0:
+            raise ValueError("instances must be positive")
+        return self.average_power(cpu_cores_busy, gpu_utilization, instances) / instances
+
+
+class PowerMeter:
+    """A wall-power meter sampling a server machine over simulated time.
+
+    The meter integrates energy so experiments can report both average
+    power and total energy (the §5.3 energy-saving comparison).
+    """
+
+    def __init__(self, env: Environment, model: PowerModel,
+                 cpu: "Cpu", gpu: "Gpu"):
+        self.env = env
+        self.model = model
+        self.cpu = cpu
+        self.gpu = gpu
+        self.samples: list[tuple[float, float]] = []
+        self._instances = 0
+
+    def set_instance_count(self, instances: int) -> None:
+        if instances < 0:
+            raise ValueError("instance count cannot be negative")
+        self._instances = instances
+
+    def sample(self) -> float:
+        """Take one power sample (watts) at the current simulation time."""
+        watts = self.model.average_power(
+            cpu_cores_busy=self.cpu.utilization(),
+            gpu_utilization=self.gpu.utilization(),
+            instances=self._instances,
+        )
+        self.samples.append((self.env.now, watts))
+        return watts
+
+    def sampling_process(self, interval: float = 1.0):
+        """A simulation process that samples power periodically."""
+        if interval <= 0:
+            raise ValueError("sampling interval must be positive")
+        while True:
+            self.sample()
+            yield self.env.timeout(interval)
+
+    # -- reporting ---------------------------------------------------------------
+    def average_power(self) -> float:
+        if not self.samples:
+            return self.sample()
+        return sum(w for _, w in self.samples) / len(self.samples)
+
+    def energy_joules(self, elapsed: Optional[float] = None) -> float:
+        horizon = elapsed if elapsed is not None else self.env.now
+        return self.average_power() * horizon
+
+    def per_instance_power(self) -> float:
+        if self._instances <= 0:
+            raise ValueError("no instances registered on this meter")
+        return self.average_power() / self._instances

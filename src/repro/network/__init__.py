@@ -1,0 +1,21 @@
+"""Network substrate: links, NICs, messages and RFB-style protocol framing.
+
+The paper's testbed gives each benchmark instance its own 1 Gbps NIC (the
+link behaves similarly to 5G cellular for frame delivery), so the model
+provides per-instance full-duplex links with bandwidth sharing, latency
+and jitter, plus byte counters for the Figure 9 bandwidth characterization.
+"""
+
+from repro.network.link import LinkSpec, NetworkLink, Nic
+from repro.network.packet import Message, MessageKind
+from repro.network.protocols import RfbProtocol, StreamingProtocol
+
+__all__ = [
+    "LinkSpec",
+    "Message",
+    "MessageKind",
+    "NetworkLink",
+    "Nic",
+    "RfbProtocol",
+    "StreamingProtocol",
+]

@@ -1,0 +1,74 @@
+"""Protocol framing: how inputs and frames are encoded on the wire.
+
+Two protocol families appear in cloud 3D rendering systems (Section 2):
+the RFB protocol used by VNC-style remote framebuffers, and RTSP-style
+video streaming used by systems like GamingAnywhere.  Both are modelled
+at the level Pictor observes them — message sizes and per-message
+overheads — since the measurement hooks sit above the wire format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.packet import Message, MessageKind
+
+__all__ = ["RfbProtocol", "StreamingProtocol"]
+
+
+@dataclass(frozen=True)
+class RfbProtocol:
+    """Remote Frame Buffer framing (the TurboVNC path evaluated in the paper)."""
+
+    key_event_bytes: int = 8
+    pointer_event_bytes: int = 6
+    hmd_event_bytes: int = 28           # TurboVNC VR-input extension (quaternion + pos)
+    update_header_bytes: int = 16
+    rectangle_header_bytes: int = 12
+
+    def encode_input(self, kind: MessageKind, payload=None) -> Message:
+        """Build the wire message for one user input."""
+        sizes = {
+            MessageKind.KEY_EVENT: self.key_event_bytes,
+            MessageKind.POINTER_EVENT: self.pointer_event_bytes,
+            MessageKind.HMD_EVENT: self.hmd_event_bytes,
+        }
+        if kind not in sizes:
+            raise ValueError(f"{kind} is not an input message kind")
+        return Message(kind=kind, size_bytes=sizes[kind], payload=payload)
+
+    def encode_frame_update(self, compressed_bytes: float, rectangles: int = 1,
+                            payload=None) -> Message:
+        """Build the wire message for one framebuffer update."""
+        if compressed_bytes < 0:
+            raise ValueError("compressed frame size cannot be negative")
+        if rectangles < 1:
+            raise ValueError("a frame update carries at least one rectangle")
+        size = (self.update_header_bytes
+                + rectangles * self.rectangle_header_bytes
+                + compressed_bytes)
+        return Message(kind=MessageKind.FRAMEBUFFER_UPDATE, size_bytes=size,
+                       payload=payload)
+
+
+@dataclass(frozen=True)
+class StreamingProtocol:
+    """RTSP/RTP-style framing used by video-streaming cloud gaming systems."""
+
+    rtp_header_bytes: int = 12
+    packet_payload_bytes: int = 1400
+    input_channel_overhead_bytes: int = 24
+
+    def encode_input(self, kind: MessageKind, payload=None) -> Message:
+        return Message(kind=kind,
+                       size_bytes=self.input_channel_overhead_bytes,
+                       payload=payload)
+
+    def encode_frame_update(self, compressed_bytes: float, rectangles: int = 1,
+                            payload=None) -> Message:
+        if compressed_bytes < 0:
+            raise ValueError("compressed frame size cannot be negative")
+        packets = max(1, int(compressed_bytes // self.packet_payload_bytes) + 1)
+        size = compressed_bytes + packets * self.rtp_header_bytes
+        return Message(kind=MessageKind.FRAMEBUFFER_UPDATE, size_bytes=size,
+                       payload=payload)

@@ -1,0 +1,25 @@
+"""Server side of the cloud rendering system.
+
+This package assembles the full per-instance rendering pipeline of
+Figure 1 / Figure 5 — VNC-style server proxy, application main loop,
+graphics interposer, GPU rendering, frame compression and delivery — on
+top of the hardware, graphics and network substrates, and provides the
+multi-tenant host used for the colocation studies of Section 5.
+"""
+
+from repro.server.container import Container, ContainerConfig, ContainerRuntime
+from repro.server.session import RenderingSession, SessionConfig
+from repro.server.vnc import VncServer, VncServerConfig
+from repro.server.host import CloudHost, HostConfig
+
+__all__ = [
+    "CloudHost",
+    "Container",
+    "ContainerConfig",
+    "ContainerRuntime",
+    "HostConfig",
+    "RenderingSession",
+    "SessionConfig",
+    "VncServer",
+    "VncServerConfig",
+]

@@ -1,0 +1,57 @@
+"""Deterministic discrete-event simulation substrate.
+
+The rest of the repository models the cloud 3D-rendering stack (CPU, GPU,
+PCIe, network, VNC proxies, applications) as processes running on top of
+this engine.  The engine is intentionally small and self-contained: an
+event heap, generator-based processes, timeouts, and a handful of shared
+resource primitives (capacity resources, stores, and token containers).
+
+The public surface mirrors the familiar process-based DES style::
+
+    env = Environment()
+
+    def worker(env, machine):
+        with machine.request() as req:
+            yield req
+            yield env.timeout(2.5)
+
+    env.process(worker(env, Resource(env, capacity=1)))
+    env.run(until=100.0)
+"""
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.resources import (
+    Container,
+    PreemptionError,
+    PriorityResource,
+    Resource,
+    Store,
+)
+from repro.sim.randomness import RandomStreams, StreamRandom
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Container",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "PreemptionError",
+    "PriorityResource",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "SimulationError",
+    "Store",
+    "StreamRandom",
+    "Timeout",
+]

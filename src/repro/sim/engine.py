@@ -1,0 +1,425 @@
+"""Core discrete-event simulation engine.
+
+The engine is a small, deterministic, generator-based kernel in the style
+of SimPy.  It provides:
+
+``Environment``
+    Owns the simulation clock and the event heap, schedules events and
+    steps the simulation forward.
+
+``Event``
+    A one-shot occurrence that callbacks can be attached to.  Events are
+    either *succeeded* with a value or *failed* with an exception.
+
+``Timeout``
+    An event that fires after a fixed simulated delay.
+
+``Process``
+    Wraps a generator.  The generator yields events; the process resumes
+    when the yielded event fires.  A process is itself an event that fires
+    when the generator returns.
+
+``AllOf`` / ``AnyOf``
+    Composite events over several child events.
+
+The engine is deliberately strict: scheduling into the past, running a
+non-generator as a process, or yielding a non-event raise
+``SimulationError`` immediately rather than silently corrupting the run.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Generator, Iterable
+from typing import Any, Callable, Optional
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for structural misuse of the simulation engine."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries the interrupting party's reason and is
+    typically used by preemptive resources to tell the victim why it lost
+    the resource.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Sentinel distinguishing "not yet decided" from a None value.
+_PENDING = object()
+
+
+class Event:
+    """A one-shot simulation event.
+
+    An event starts *pending*.  Calling :meth:`succeed` or :meth:`fail`
+    makes it *triggered*; it is then scheduled and its callbacks run when
+    the environment processes it, after which it is *processed*.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        self._defused = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (scheduled or processed)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None  # type: ignore[return-value]
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError(f"value of {self!r} is not yet available")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised in every process waiting on the event.
+        If nobody waits, the environment raises it at the end of the step
+        (unless :meth:`defused` was called).
+        """
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"{exception!r} is not an exception")
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another (for chaining)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.defuse_source(event)
+            self.fail(event._value)
+
+    @staticmethod
+    def defuse_source(event: "Event") -> None:
+        event._defused = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending"
+        if self.triggered:
+            state = "ok" if self._ok else "failed"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after it is created."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self.delay = float(delay)
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=self.delay)
+
+
+class Initialize(Event):
+    """Internal event used to start a newly created process."""
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env._schedule(self, priority=Environment.PRIORITY_URGENT)
+
+
+class Process(Event):
+    """A running process wrapping a generator of events.
+
+    The process is itself an event: it succeeds with the generator's return
+    value, or fails with the exception that escaped the generator.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not isinstance(generator, Generator):
+            raise SimulationError(
+                f"process body must be a generator, got {type(generator).__name__}"
+            )
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._value is _PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event the process is currently waiting for."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its next resume."""
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} has terminated and cannot be interrupted")
+        if self is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        Interruption(self, cause)
+
+    # -- stepping ---------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    exc = event._value
+                    next_event = self._generator.throw(exc)
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                self.env._schedule(self)
+                break
+            except BaseException as exc:
+                self._ok = False
+                self._value = exc
+                self.env._schedule(self)
+                break
+
+            if not isinstance(next_event, Event):
+                exc = SimulationError(
+                    f"process yielded a non-event: {next_event!r}"
+                )
+                event = Event(self.env)
+                event._ok = False
+                event._value = exc
+                continue
+
+            if next_event.callbacks is not None:
+                # Event still pending or scheduled: wait for it.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+            # Event already processed: loop immediately with its value.
+            event = next_event
+
+        self._target = None if not self.is_alive else self._target
+        self.env._active_process = None
+
+
+class Interruption(Event):
+    """Helper event that delivers an :class:`Interrupt` to a process."""
+
+    def __init__(self, process: Process, cause: Any):
+        super().__init__(process.env)
+        self.process = process
+        self.callbacks.append(self._deliver)
+        self._ok = False
+        self._value = Interrupt(cause)
+        self._defused = True
+        self.env._schedule(self, priority=Environment.PRIORITY_URGENT)
+
+    def _deliver(self, event: Event) -> None:
+        process = self.process
+        if not process.is_alive:
+            return
+        # Detach the process from whatever it is currently waiting on so the
+        # original event does not also resume it later.
+        target = process._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(process._resume)
+            except ValueError:
+                pass
+        process._resume(self)
+
+
+class ConditionEvent(Event):
+    """Base class for :class:`AllOf` and :class:`AnyOf`."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        self._completed: list[Event] = []
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            if event.env is not env:
+                raise SimulationError("cannot mix events from different environments")
+            if event.callbacks is None:
+                self._on_child(event)
+            else:
+                event.callbacks.append(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._completed.append(event)
+        if self._satisfied():
+            self.succeed({e: e._value for e in self._completed})
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(ConditionEvent):
+    """Succeeds once every child event has succeeded."""
+
+    def _satisfied(self) -> bool:
+        return len(self._completed) == len(self.events)
+
+
+class AnyOf(ConditionEvent):
+    """Succeeds as soon as any child event succeeds."""
+
+    def _satisfied(self) -> bool:
+        return len(self._completed) >= 1
+
+
+class Environment:
+    """The simulation environment: clock, event heap, and run loop."""
+
+    PRIORITY_URGENT = 0
+    PRIORITY_NORMAL = 1
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds by convention in this repo)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- event factories ----------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0,
+                  priority: int = PRIORITY_NORMAL) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise SimulationError("nothing left to simulate")
+        when, _priority, _eid, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            raise event._value
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be a time (run until the clock reaches it), an event
+        (run until it fires, returning its value), or None (run until the
+        event queue drains).
+        """
+        stop_event: Optional[Event] = None
+        stop_time: Optional[float] = None
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise SimulationError(
+                    f"until={stop_time!r} is in the past (now={self._now!r})"
+                )
+
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                if not stop_event.ok:
+                    raise stop_event.value
+                return stop_event.value
+            if stop_time is not None and self.peek() > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+
+        if stop_event is not None:
+            if stop_event.processed:
+                if not stop_event.ok:
+                    raise stop_event.value
+                return stop_event.value
+            raise SimulationError("event queue drained before the stop event fired")
+        if stop_time is not None:
+            self._now = stop_time
+        return None

@@ -1,0 +1,285 @@
+"""Shared-resource primitives for the simulation engine.
+
+These are the building blocks used to model contention: GPUs and NICs are
+``Resource`` instances, render/compression queues are ``Store`` instances,
+and bandwidth-style quantities are ``Container`` instances.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Optional
+
+from repro.sim.engine import Environment, Event, Process, SimulationError
+
+__all__ = [
+    "Container",
+    "PreemptionError",
+    "PriorityResource",
+    "Request",
+    "Release",
+    "Resource",
+    "Store",
+]
+
+
+class PreemptionError(Exception):
+    """Raised inside a process whose resource slot was preempted."""
+
+    def __init__(self, by: Any, usage_since: float):
+        super().__init__(f"preempted by {by!r}")
+        self.by = by
+        self.usage_since = usage_since
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot.
+
+    Usable as a context manager so the slot is always released::
+
+        with resource.request() as req:
+            yield req
+            ...
+    """
+
+    def __init__(self, resource: "Resource", priority: float = 0.0):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        self.usage_since: Optional[float] = None
+        self.process = resource.env.active_process
+        resource._add_request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.cancel()
+
+    def cancel(self) -> None:
+        """Release the slot if held, or withdraw the request if queued."""
+        self.resource.release(self)
+
+
+class Release(Event):
+    """Event representing the (immediate) release of a resource slot."""
+
+    def __init__(self, resource: "Resource", request: Request):
+        super().__init__(resource.env)
+        self.request = request
+        self.succeed()
+
+
+class Resource:
+    """A capacity-limited resource with FIFO queueing.
+
+    ``capacity`` slots may be held at once; further requests queue in FIFO
+    order.  ``users`` exposes the currently granted requests and ``queue``
+    the waiting ones, which the hardware models use to compute occupancy
+    and contention factors.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity <= 0:
+            raise SimulationError(f"resource capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users: list[Request] = []
+        self.queue: list[Request] = []
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of capacity in use (can exceed 1.0 counting waiters)."""
+        return (len(self.users) + len(self.queue)) / self.capacity
+
+    # -- request / release ---------------------------------------------------
+    def request(self, priority: float = 0.0) -> Request:
+        return Request(self, priority)
+
+    def release(self, request: Request) -> Release:
+        if request in self.users:
+            self.users.remove(request)
+            self._grant_next()
+        elif request in self.queue:
+            self.queue.remove(request)
+        return Release(self, request)
+
+    # -- internals -----------------------------------------------------------
+    def _add_request(self, request: Request) -> None:
+        if len(self.users) < self.capacity:
+            self._grant(request)
+        else:
+            self._enqueue(request)
+
+    def _enqueue(self, request: Request) -> None:
+        self.queue.append(request)
+
+    def _grant(self, request: Request) -> None:
+        request.usage_since = self.env.now
+        self.users.append(request)
+        request.succeed(self)
+
+    def _grant_next(self) -> None:
+        while self.queue and len(self.users) < self.capacity:
+            nxt = self._pop_next()
+            self._grant(nxt)
+
+    def _pop_next(self) -> Request:
+        return self.queue.pop(0)
+
+
+class PriorityResource(Resource):
+    """Resource whose queue is ordered by ``priority`` (lower is sooner)."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        super().__init__(env, capacity)
+        self._heap: list[tuple[float, int, Request]] = []
+        self._counter = 0
+
+    def _enqueue(self, request: Request) -> None:
+        self._counter += 1
+        heapq.heappush(self._heap, (request.priority, self._counter, request))
+        self.queue = [entry[2] for entry in sorted(self._heap)]
+
+    def _pop_next(self) -> Request:
+        _prio, _count, request = heapq.heappop(self._heap)
+        self.queue = [entry[2] for entry in sorted(self._heap)]
+        return request
+
+    def release(self, request: Request) -> Release:
+        if request in self.users:
+            self.users.remove(request)
+            self._grant_next()
+        else:
+            self._heap = [e for e in self._heap if e[2] is not request]
+            heapq.heapify(self._heap)
+            self.queue = [entry[2] for entry in sorted(self._heap)]
+        return Release(self, request)
+
+
+class StorePut(Event):
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+        store._put_queue.append(self)
+        store._trigger()
+
+
+class StoreGet(Event):
+    def __init__(self, store: "Store"):
+        super().__init__(store.env)
+        store._get_queue.append(self)
+        store._trigger()
+
+
+class Store:
+    """An unbounded-or-bounded FIFO buffer of items between processes.
+
+    ``put`` events succeed once the item is accepted (immediately unless
+    the store is full); ``get`` events succeed with the oldest item once
+    one is available.  This models the hand-off queues between pipeline
+    stages (application → interposer → VNC proxy → network).
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise SimulationError(f"store capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: list[Any] = []
+        self._put_queue: list[StorePut] = []
+        self._get_queue: list[StoreGet] = []
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        return StoreGet(self)
+
+    def _trigger(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._put_queue and len(self.items) < self.capacity:
+                put = self._put_queue.pop(0)
+                self.items.append(put.item)
+                put.succeed()
+                progressed = True
+            if self._get_queue and self.items:
+                get = self._get_queue.pop(0)
+                get.succeed(self.items.pop(0))
+                progressed = True
+
+
+class ContainerPut(Event):
+    def __init__(self, container: "Container", amount: float):
+        super().__init__(container.env)
+        self.amount = amount
+        container._put_queue.append(self)
+        container._trigger()
+
+
+class ContainerGet(Event):
+    def __init__(self, container: "Container", amount: float):
+        super().__init__(container.env)
+        self.amount = amount
+        container._get_queue.append(self)
+        container._trigger()
+
+
+class Container:
+    """A reservoir of continuous "stuff" (bytes, tokens, joules).
+
+    Used for bandwidth budgeting: producers ``put`` and consumers ``get``
+    amounts, blocking when the level would go out of bounds.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf"),
+                 init: float = 0.0):
+        if capacity <= 0:
+            raise SimulationError(f"container capacity must be positive, got {capacity}")
+        if not 0.0 <= init <= capacity:
+            raise SimulationError(f"initial level {init} outside [0, {capacity}]")
+        self.env = env
+        self.capacity = capacity
+        self.level = float(init)
+        self._put_queue: list[ContainerPut] = []
+        self._get_queue: list[ContainerGet] = []
+
+    def put(self, amount: float) -> ContainerPut:
+        if amount < 0:
+            raise SimulationError("cannot put a negative amount")
+        return ContainerPut(self, amount)
+
+    def get(self, amount: float) -> ContainerGet:
+        if amount < 0:
+            raise SimulationError("cannot get a negative amount")
+        return ContainerGet(self, amount)
+
+    def _trigger(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._put_queue:
+                put = self._put_queue[0]
+                if self.level + put.amount <= self.capacity:
+                    self._put_queue.pop(0)
+                    self.level += put.amount
+                    put.succeed()
+                    progressed = True
+            if self._get_queue:
+                get = self._get_queue[0]
+                if self.level >= get.amount:
+                    self._get_queue.pop(0)
+                    self.level -= get.amount
+                    get.succeed(get.amount)
+                    progressed = True

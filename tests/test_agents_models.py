@@ -1,0 +1,196 @@
+"""Tests for the human player, recorder, CNN, LSTM and object detector."""
+
+import numpy as np
+import pytest
+
+from repro.agents.cnn import ConvNet, ConvNetConfig
+from repro.agents.human import HumanPlayer
+from repro.agents.recorder import RecordedSession, SessionRecorder
+from repro.agents.rnn import Lstm, LstmConfig
+from repro.agents.vision import ObjectDetector
+from repro.apps.registry import create_benchmark
+from repro.sim.randomness import StreamRandom
+
+
+@pytest.fixture(scope="module")
+def recorded_session() -> RecordedSession:
+    app = create_benchmark("RE", rng=StreamRandom(11))
+    human = HumanPlayer(app, rng=StreamRandom(12))
+    recorder = SessionRecorder(rng=StreamRandom(13))
+    return recorder.record(app, human, duration_s=6.0, frame_rate=30.0)
+
+
+# --- human player -----------------------------------------------------------------
+
+def test_human_rate_matches_profile():
+    app = create_benchmark("STK", rng=StreamRandom(1))
+    human = HumanPlayer(app, rng=StreamRandom(2))
+    assert human.actions_per_second == pytest.approx(app.profile.actions_per_second)
+    assert human.input_kind is app.profile.input_kind
+
+
+def test_human_reaction_time_is_plausible():
+    app = create_benchmark("STK", rng=StreamRandom(1))
+    human = HumanPlayer(app, rng=StreamRandom(2))
+    times = [human.reaction_time() for _ in range(200)]
+    assert all(0.05 <= t <= 1.0 for t in times)
+    assert np.mean(times) == pytest.approx(app.profile.reaction_time_ms * 1e-3, rel=0.3)
+
+
+def test_human_decides_even_without_a_frame():
+    app = create_benchmark("RE", rng=StreamRandom(1))
+    human = HumanPlayer(app, rng=StreamRandom(2), lapse_probability=0.0)
+    decision = human.decide(None, now=0.0)
+    assert decision is not None
+    action, think = decision
+    assert think > 0
+
+
+def test_human_lapses_sometimes_skip_actions():
+    app = create_benchmark("RE", rng=StreamRandom(1))
+    human = HumanPlayer(app, rng=StreamRandom(2), lapse_probability=0.5)
+    frame = app.advance(1 / 30)
+    decisions = [human.decide(frame, 0.0) for _ in range(200)]
+    assert any(d is None for d in decisions)
+    assert any(d is not None for d in decisions)
+
+
+def test_human_follows_ground_truth_direction():
+    app = create_benchmark("RE", rng=StreamRandom(1))
+    human = HumanPlayer(app, rng=StreamRandom(2), skill=0.95, lapse_probability=0.0)
+    frame = app.advance(1 / 30)
+    ideal = app.correct_action(frame)
+    steers = [human.policy(frame).steer for _ in range(100)]
+    assert np.mean(steers) == pytest.approx(ideal.steer, abs=0.2)
+
+
+def test_human_validation():
+    app = create_benchmark("RE", rng=StreamRandom(1))
+    with pytest.raises(ValueError):
+        HumanPlayer(app, skill=0.0)
+    with pytest.raises(ValueError):
+        HumanPlayer(app, lapse_probability=1.0)
+
+
+# --- recorder -----------------------------------------------------------------------
+
+def test_recording_contains_frame_action_pairs(recorded_session):
+    assert len(recorded_session) > 20
+    assert recorded_session.benchmark == "RE"
+    assert recorded_session.duration > 0
+    step = recorded_session.steps[0]
+    assert step.frame.objects is not None
+    assert -1.0 <= step.action.steer <= 1.0
+
+
+def test_recording_rate_is_close_to_human_apm(recorded_session):
+    app = create_benchmark("RE", rng=StreamRandom(11))
+    assert recorded_session.actions_per_minute == pytest.approx(
+        app.profile.human_apm, rel=0.35)
+
+
+def test_label_vectors_have_expected_shape(recorded_session):
+    labels = recorded_session.feature_matrix()
+    assert labels.shape == (len(recorded_session), 30)
+    assert labels.min() >= 0.0 and labels.max() <= 1.0
+
+
+def test_action_matrix_shape(recorded_session):
+    actions = recorded_session.action_matrix()
+    assert actions.shape == (len(recorded_session), 3)
+
+
+def test_recorder_validation():
+    recorder = SessionRecorder()
+    app = create_benchmark("RE", rng=StreamRandom(11))
+    human = HumanPlayer(app, rng=StreamRandom(12))
+    with pytest.raises(ValueError):
+        recorder.record(app, human, duration_s=0.0)
+
+
+# --- CNN --------------------------------------------------------------------------------
+
+def test_convnet_shapes_and_parameter_count():
+    net = ConvNet(ConvNetConfig())
+    image = np.zeros((36, 64, 3))
+    output = net.predict(image)
+    assert output.shape == (30,)
+    assert net.parameter_count > 1000
+
+
+def test_convnet_rejects_wrong_input_shape():
+    net = ConvNet()
+    with pytest.raises(ValueError):
+        net.predict(np.zeros((10, 10, 3)))
+
+
+def test_convnet_training_reduces_loss(recorded_session):
+    net = ConvNet(ConvNetConfig(epochs=6))
+    images = np.stack([step.frame.pixels for step in recorded_session.steps])
+    targets = recorded_session.feature_matrix()
+    net.train(images, targets, epochs=6)
+    assert len(net.training_losses) == 6
+    assert net.training_losses[-1] < net.training_losses[0]
+
+
+def test_convnet_training_validates_alignment():
+    net = ConvNet()
+    with pytest.raises(ValueError):
+        net.train(np.zeros((4, 36, 64, 3)), np.zeros((5, 30)))
+
+
+# --- LSTM -------------------------------------------------------------------------------
+
+def test_lstm_prediction_shape_and_state():
+    lstm = Lstm(LstmConfig(input_units=30))
+    out1 = lstm.predict(np.zeros(30))
+    assert out1.shape == (3,)
+    # State carries over: a second identical input can give a different output.
+    out2 = lstm.predict(np.zeros(30))
+    lstm.reset_state()
+    out3 = lstm.predict(np.zeros(30))
+    assert np.allclose(out1, out3)
+    assert out1.shape == out2.shape
+
+
+def test_lstm_rejects_wrong_feature_size():
+    lstm = Lstm(LstmConfig(input_units=30))
+    with pytest.raises(ValueError):
+        lstm.predict(np.zeros(7))
+
+
+def test_lstm_training_reduces_loss():
+    rng = np.random.default_rng(0)
+    features = rng.normal(size=(120, 30))
+    # Learnable mapping: action depends linearly on two feature columns.
+    actions = np.stack([features[:, 0] * 0.5, features[:, 1] * -0.5,
+                        (features[:, 2] > 0).astype(float)], axis=1)
+    lstm = Lstm(LstmConfig(input_units=30, epochs=30))
+    lstm.train(features, actions, epochs=30)
+    assert lstm.training_losses[-1] < lstm.training_losses[0]
+
+
+def test_lstm_training_validation():
+    lstm = Lstm(LstmConfig(input_units=30))
+    with pytest.raises(ValueError):
+        lstm.train(np.zeros((5, 30)), np.zeros((4, 3)))
+    with pytest.raises(ValueError):
+        lstm.train(np.zeros((1, 30)), np.zeros((1, 3)))
+
+
+# --- object detector -----------------------------------------------------------------------
+
+def test_detector_trains_and_detects(recorded_session):
+    detector = ObjectDetector()
+    detector.train(recorded_session, epochs=6)
+    error = detector.detection_error(recorded_session)
+    assert error < 0.35
+    detections = detector.detect(recorded_session.steps[0].frame)
+    for detection in detections:
+        assert 0.0 <= detection.x <= 1.0 and 0.0 <= detection.y <= 1.0
+
+
+def test_detector_requires_non_empty_session():
+    detector = ObjectDetector()
+    with pytest.raises(ValueError):
+        detector.train(RecordedSession(benchmark="RE"))

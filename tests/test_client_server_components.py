@@ -1,0 +1,127 @@
+"""Tests for the client proxy, VNC server proxy and container model."""
+
+import pytest
+
+from repro.apps.base import Action, InputKind
+from repro.client.input_devices import (
+    HeadMountedDisplay,
+    Keyboard,
+    Mouse,
+    device_for_input_kind,
+)
+from repro.client.proxy import ClientProxy, ClientProxyConfig
+from repro.core.pictor import Pictor
+from repro.graphics.frame import Frame
+from repro.network.link import LinkSpec, NetworkLink
+from repro.network.packet import MessageKind
+from repro.server.container import Container, ContainerConfig, ContainerRuntime
+from repro.sim.randomness import StreamRandom
+from repro.sim.resources import Store
+
+
+# --- input devices ---------------------------------------------------------------
+
+def test_device_selection_follows_profile_input_kind():
+    assert isinstance(device_for_input_kind(InputKind.HMD), HeadMountedDisplay)
+    assert isinstance(device_for_input_kind(InputKind.KEYBOARD), Keyboard)
+    assert isinstance(device_for_input_kind(InputKind.MOUSE), Mouse)
+    assert isinstance(device_for_input_kind(InputKind.KEYBOARD_MOUSE), Mouse)
+
+
+def test_device_message_kinds():
+    action = Action(steer=0.1, primary=True)
+    assert Keyboard().message_kind(action) is MessageKind.KEY_EVENT
+    assert Mouse().message_kind(action) is MessageKind.POINTER_EVENT
+    assert HeadMountedDisplay().message_kind(action) is MessageKind.HMD_EVENT
+    assert "primary" in Keyboard().describe(action)
+
+
+# --- client proxy -----------------------------------------------------------------
+
+@pytest.fixture
+def client(env):
+    link = NetworkLink(env, LinkSpec(jitter_fraction=0.0), rng=StreamRandom(0))
+    instrumentation = Pictor().instrument_session()
+    proxy = ClientProxy(env, link, instrumentation=instrumentation,
+                        rng=StreamRandom(1))
+    proxy.server_inbox = Store(env)
+    return proxy
+
+
+def test_send_input_tags_and_transmits(env, client):
+    def proc(env):
+        yield from client.send_input(Action(steer=0.3), Keyboard())
+
+    env.process(proc(env))
+    env.run()
+    assert client.inputs_sent == 1
+    assert len(client.server_inbox) == 1
+    message = client.server_inbox.items[0]
+    assert message.tag is not None
+    tracker = client.instrumentation.tracker
+    assert tracker.tracked_inputs == 1
+    record = tracker.get(message.tag)
+    assert "CS" in record.stage_durations
+
+
+def test_display_completes_tracked_inputs(env, client):
+    def proc(env):
+        message = yield from client.send_input(Action(), Keyboard())
+        frame = Frame()
+        yield client.frame_queue.put((frame, [message.tag], 500_000.0))
+        yield env.timeout(0.1)
+
+    client._processes.append(env.process(client._display_loop()))
+    env.process(proc(env))
+    env.run(until=1.0)
+    assert client.frames_displayed == 1
+    assert client.latest_frame is not None
+    tracker = client.instrumentation.tracker
+    assert tracker.completed_inputs == 1
+    assert tracker.rtts()[0] > 0
+
+
+def test_client_without_instrumentation_still_works(env):
+    link = NetworkLink(env, LinkSpec(jitter_fraction=0.0), rng=StreamRandom(0))
+    proxy = ClientProxy(env, link, instrumentation=None, rng=StreamRandom(1))
+    proxy.server_inbox = Store(env)
+
+    def proc(env):
+        yield from proxy.send_input(Action(), Keyboard())
+
+    env.process(proc(env))
+    env.run()
+    assert proxy.server_inbox.items[0].tag is None
+
+
+def test_start_requires_connected_inbox(env):
+    link = NetworkLink(env, LinkSpec(), rng=StreamRandom(0))
+    proxy = ClientProxy(env, link)
+    with pytest.raises(RuntimeError):
+        proxy.start(agent=None)
+
+
+# --- container runtime ----------------------------------------------------------------
+
+def test_container_overheads_within_configured_bounds():
+    runtime = ContainerRuntime(ContainerConfig(), rng=StreamRandom(5))
+    containers = [runtime.create(f"c{i}") for i in range(50)]
+    config = runtime.config
+    for container in containers:
+        assert 0.0 <= container.ipc_overhead <= config.ipc_overhead_max
+        assert 0.0 <= container.gpu_overhead <= config.gpu_overhead_max
+        assert container.ipc_factor >= 1.0
+        assert 0.0 <= container.working_set_factor <= 1.0
+    assert len(runtime.containers) == 50
+
+
+def test_container_overheads_vary_between_instances():
+    runtime = ContainerRuntime(rng=StreamRandom(6))
+    values = {round(runtime.create(f"c{i}").ipc_overhead, 6) for i in range(20)}
+    assert len(values) > 5
+
+
+def test_container_isolation_bonus_reduces_working_set():
+    container = Container(name="c", ipc_overhead=0.02, gpu_overhead=0.01,
+                          isolation_bonus=0.10)
+    assert container.working_set_factor == pytest.approx(0.90)

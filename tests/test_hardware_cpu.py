@@ -1,0 +1,164 @@
+"""Tests for the CPU model: contention, utilization, Top-Down accounting."""
+
+import pytest
+
+from repro.hardware.cpu import Cpu, CpuSpec, CycleBreakdown, StageCpuProfile
+from repro.hardware.memory import MemorySpec, MemorySystem
+
+
+def run_work(env, thread, nominal, profile):
+    """Helper: run one chunk of CPU work to completion and return elapsed."""
+    result = {}
+
+    def proc(env):
+        started = env.now
+        yield from thread.run(nominal, profile)
+        result["elapsed"] = env.now - started
+
+    env.process(proc(env))
+    env.run()
+    return result["elapsed"]
+
+
+def test_uncontended_work_takes_nominal_time(env):
+    cpu = Cpu(env, CpuSpec(cores=8))
+    thread = cpu.thread("t0")
+    elapsed = run_work(env, thread, 0.010, StageCpuProfile(demand=1.0))
+    assert elapsed == pytest.approx(0.010)
+
+
+def test_oversubscription_slows_work_down(env):
+    cpu = Cpu(env, CpuSpec(cores=2))
+    threads = [cpu.thread(f"t{i}") for i in range(4)]
+    finish_times = []
+
+    def worker(env, thread):
+        yield from thread.run(0.010, StageCpuProfile(demand=1.0))
+        finish_times.append(env.now)
+
+    for thread in threads:
+        env.process(worker(env, thread))
+    env.run()
+    # Four single-core demands on two cores: everything runs ~2x slower.
+    assert max(finish_times) == pytest.approx(0.020, rel=0.01)
+
+
+def test_scheduling_slowdown_formula(env):
+    cpu = Cpu(env, CpuSpec(cores=4))
+    cpu._begin_work(8.0)
+    assert cpu.scheduling_slowdown() == pytest.approx(2.0)
+    cpu._end_work(8.0)
+    assert cpu.scheduling_slowdown() == 1.0
+
+
+def test_memory_contention_inflates_memory_bound_stage(env):
+    memory = MemorySystem(env, MemorySpec(l3_mb=10.0))
+    cpu = Cpu(env, CpuSpec(cores=8), memory=memory)
+    # Register two workloads so cache pressure is non-zero.
+    memory.register_workload(12.0)
+    memory.register_workload(12.0)
+    thread = cpu.thread("t0")
+    bound = StageCpuProfile(demand=1.0, memory_intensity=1.0)
+    elapsed = run_work(env, thread, 0.010, bound)
+    assert elapsed > 0.010
+
+
+def test_memory_insensitive_stage_unaffected_by_pressure(env):
+    memory = MemorySystem(env, MemorySpec(l3_mb=10.0))
+    cpu = Cpu(env, CpuSpec(cores=8), memory=memory)
+    memory.register_workload(20.0)
+    memory.register_workload(20.0)
+    thread = cpu.thread("t0")
+    insensitive = StageCpuProfile(demand=1.0, memory_intensity=0.0)
+    elapsed = run_work(env, thread, 0.010, insensitive)
+    assert elapsed == pytest.approx(0.010)
+
+
+def test_utilization_reflects_busy_fraction(env):
+    cpu = Cpu(env, CpuSpec(cores=8))
+    thread = cpu.thread("t0")
+
+    def worker(env):
+        yield from thread.run(0.5, StageCpuProfile(demand=2.0))
+        yield env.timeout(0.5)
+
+    env.process(worker(env))
+    env.run()
+    # 2 cores busy for half of 1 second == 1.0 core-seconds per second.
+    assert cpu.utilization(1.0) == pytest.approx(1.0, rel=0.01)
+
+
+def test_utilization_by_owner_separates_processes(env):
+    cpu = Cpu(env, CpuSpec(cores=8))
+    app = cpu.thread("app.main", owner="app")
+    vnc = cpu.thread("vnc.compress", owner="vnc")
+
+    def worker(env, thread, nominal):
+        yield from thread.run(nominal, StageCpuProfile(demand=1.0))
+
+    env.process(worker(env, app, 0.6))
+    env.process(worker(env, vnc, 0.2))
+    env.run()
+    by_owner = cpu.utilization_by_owner(1.0)
+    assert by_owner["app"] == pytest.approx(0.6, rel=0.01)
+    assert by_owner["vnc"] == pytest.approx(0.2, rel=0.01)
+
+
+def test_topdown_fractions_sum_to_one(env):
+    cpu = Cpu(env, CpuSpec(cores=8))
+    thread = cpu.thread("t0")
+    run_work(env, thread, 0.010, StageCpuProfile(demand=1.0))
+    fractions = cpu.cycle_breakdown().fractions()
+    assert sum(fractions.values()) == pytest.approx(1.0)
+
+
+def test_contention_shifts_cycles_to_backend(env):
+    # Contended run on a small CPU.
+    env_contended = type(env)()
+    cpu_contended = Cpu(env_contended, CpuSpec(cores=1))
+    threads = [cpu_contended.thread(f"t{i}", owner="app") for i in range(4)]
+
+    def worker(env, thread):
+        yield from thread.run(0.010, StageCpuProfile(demand=1.0))
+
+    for thread in threads:
+        env_contended.process(worker(env_contended, thread))
+    env_contended.run()
+    contended_backend = cpu_contended.cycle_breakdown("app").fractions()["backend_bound"]
+
+    cpu_idle = Cpu(env, CpuSpec(cores=8))
+    idle_thread = cpu_idle.thread("t0", owner="app")
+    run_work(env, idle_thread, 0.010, StageCpuProfile(demand=1.0))
+    idle_backend = cpu_idle.cycle_breakdown("app").fractions()["backend_bound"]
+
+    assert contended_backend > idle_backend
+
+
+def test_zero_work_is_free(env):
+    cpu = Cpu(env, CpuSpec())
+    thread = cpu.thread("t0")
+    elapsed = run_work(env, thread, 0.0, StageCpuProfile(demand=1.0))
+    assert elapsed == 0.0
+    assert thread.busy_time == 0.0
+
+
+def test_cycle_breakdown_add_accumulates():
+    total = CycleBreakdown()
+    total.add(CycleBreakdown(retiring=1.0, backend_bound=2.0))
+    total.add(CycleBreakdown(frontend_bound=3.0, bad_speculation=4.0))
+    assert total.total == pytest.approx(10.0)
+
+
+def test_stage_profile_validation():
+    with pytest.raises(ValueError):
+        StageCpuProfile(base_retiring=0.6, base_frontend=0.3, base_bad_speculation=0.2)
+    with pytest.raises(ValueError):
+        StageCpuProfile(demand=0.0)
+    with pytest.raises(ValueError):
+        StageCpuProfile(memory_intensity=1.5)
+
+
+def test_spec_derived_quantities():
+    spec = CpuSpec(cores=8, frequency_ghz=3.6, smt=2)
+    assert spec.hardware_threads == 16
+    assert spec.cycles_per_second == pytest.approx(3.6e9)

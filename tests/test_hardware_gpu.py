@@ -1,0 +1,121 @@
+"""Tests for the GPU model: render contexts, sharing, cache counters."""
+
+import pytest
+
+from repro.hardware.gpu import Gpu, GpuSpec, GpuWorkloadProfile
+from repro.sim.engine import SimulationError
+
+
+def render_once(env, context, nominal, work_units=1.0):
+    result = {}
+
+    def proc(env):
+        job = yield from context.render(nominal, work_units)
+        result["job"] = job
+
+    env.process(proc(env))
+    env.run()
+    return result["job"]
+
+
+def test_uncontended_render_takes_nominal_time(env):
+    gpu = Gpu(env)
+    context = gpu.create_context("app", GpuWorkloadProfile())
+    job = render_once(env, context, 0.008)
+    assert job.gpu_time == pytest.approx(0.008)
+
+
+def test_concurrent_contexts_slow_each_other(env):
+    gpu = Gpu(env)
+    contexts = [gpu.create_context(f"app{i}", GpuWorkloadProfile()) for i in range(3)]
+    finish = []
+
+    def worker(env, context):
+        job = yield from context.render(0.008)
+        finish.append(job.gpu_time)
+
+    for context in contexts:
+        env.process(worker(env, context))
+    env.run()
+    assert all(t > 0.008 for t in finish)
+
+
+def test_gpu_utilization_tracks_busy_time(env):
+    gpu = Gpu(env)
+    context = gpu.create_context("app", GpuWorkloadProfile())
+
+    def worker(env):
+        yield from context.render(0.25)
+        yield env.timeout(0.75)
+
+    env.process(worker(env))
+    env.run()
+    assert gpu.utilization(1.0) == pytest.approx(0.25, rel=0.05)
+
+
+def test_l2_miss_rate_rises_with_resident_contexts(env):
+    gpu = Gpu(env)
+    profile = GpuWorkloadProfile(base_l2_miss_rate=0.3)
+    context = gpu.create_context("app0", profile)
+    render_once(env, context, 0.008)
+    solo = context.l2_miss_rate()
+    gpu.create_context("app1", profile)
+    gpu.create_context("app2", profile)
+    assert gpu.effective_l2_miss_rate(context) > solo
+
+
+def test_texture_cache_is_private(env):
+    gpu = Gpu(env)
+    profile = GpuWorkloadProfile(base_texture_miss_rate=0.2)
+    context = gpu.create_context("app0", profile)
+    render_once(env, context, 0.008)
+    solo = context.texture_miss_rate()
+    gpu.create_context("app1", profile)
+    render_once(env, context, 0.008)
+    assert context.texture_miss_rate() == pytest.approx(solo)
+
+
+def test_unreadable_pmu_returns_none(env):
+    gpu = Gpu(env)
+    context = gpu.create_context("oldgl", GpuWorkloadProfile(pmu_readable=False))
+    render_once(env, context, 0.008)
+    assert context.l2_miss_rate() is None
+    assert context.texture_miss_rate() is None
+
+
+def test_gpu_memory_accounting_and_exhaustion(env):
+    gpu = Gpu(env, GpuSpec(memory_gb=1.0))
+    gpu.create_context("a", GpuWorkloadProfile(gpu_memory_mb=600.0))
+    assert gpu.allocated_memory_mb == pytest.approx(600.0)
+    with pytest.raises(SimulationError):
+        gpu.create_context("b", GpuWorkloadProfile(gpu_memory_mb=600.0))
+
+
+def test_destroy_context_frees_memory(env):
+    gpu = Gpu(env)
+    context = gpu.create_context("a", GpuWorkloadProfile(gpu_memory_mb=500.0))
+    gpu.destroy_context(context)
+    assert gpu.allocated_memory_mb == pytest.approx(0.0)
+    assert context not in gpu.contexts
+
+
+def test_virtualization_overhead_inflates_render_time(env):
+    gpu = Gpu(env)
+    context = gpu.create_context("contained", GpuWorkloadProfile(),
+                                 virtualization_overhead=0.10)
+    job = render_once(env, context, 0.010)
+    assert job.gpu_time == pytest.approx(0.011)
+
+
+def test_render_rejects_non_positive_time(env):
+    gpu = Gpu(env)
+    context = gpu.create_context("app", GpuWorkloadProfile())
+    with pytest.raises(SimulationError):
+        next(context.render(0.0))
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        GpuWorkloadProfile(base_l2_miss_rate=1.5)
+    with pytest.raises(ValueError):
+        GpuWorkloadProfile(gpu_memory_mb=-1.0)

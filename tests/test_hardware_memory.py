@@ -1,0 +1,80 @@
+"""Tests for the shared memory system (L3 + DRAM contention model)."""
+
+import pytest
+
+from repro.hardware.memory import LlcModel, MemorySpec, MemorySystem
+
+
+def test_single_workload_sees_base_miss_rate(env):
+    memory = MemorySystem(env, MemorySpec(l3_mb=11.0))
+    llc = LlcModel(base_miss_rate=0.72, working_set_mb=8.0)
+    memory.register_workload(8.0)
+    assert memory.effective_miss_rate(llc) == pytest.approx(0.72)
+
+
+def test_colocation_raises_miss_rate(env):
+    memory = MemorySystem(env, MemorySpec(l3_mb=11.0))
+    llc = LlcModel(base_miss_rate=0.72, working_set_mb=8.0)
+    memory.register_workload(8.0)
+    solo = memory.effective_miss_rate(llc)
+    memory.register_workload(8.0)
+    pair = memory.effective_miss_rate(llc)
+    memory.register_workload(8.0)
+    trio = memory.effective_miss_rate(llc)
+    assert solo < pair < trio <= 1.0
+
+
+def test_unregister_restores_pressure(env):
+    memory = MemorySystem(env)
+    memory.register_workload(10.0)
+    memory.register_workload(10.0)
+    assert memory.cache_pressure() > 0.0
+    memory.unregister_workload(10.0)
+    assert memory.cache_pressure() == 0.0
+
+
+def test_stall_factor_scales_with_memory_intensity(env):
+    memory = MemorySystem(env)
+    memory.register_workload(12.0)
+    memory.register_workload(12.0)
+    light = memory.cpu_stall_factor(0.1)
+    heavy = memory.cpu_stall_factor(1.0)
+    assert 1.0 <= light < heavy <= memory.spec.max_stall_factor
+
+
+def test_stall_factor_is_one_without_pressure(env):
+    memory = MemorySystem(env)
+    memory.register_workload(12.0)
+    assert memory.cpu_stall_factor(1.0) == pytest.approx(1.0, abs=1e-6)
+
+
+def test_record_accesses_tracks_observed_miss_rate(env):
+    memory = MemorySystem(env)
+    llc = LlcModel(base_miss_rate=0.5, working_set_mb=4.0)
+    memory.register_workload(4.0)
+    misses = memory.record_accesses(1000.0, llc)
+    assert misses == pytest.approx(500.0)
+    assert memory.observed_miss_rate() == pytest.approx(0.5)
+    assert memory.dram_bytes == pytest.approx(500.0 * 64)
+
+
+def test_record_accesses_rejects_negative(env):
+    memory = MemorySystem(env)
+    llc = LlcModel(base_miss_rate=0.5, working_set_mb=4.0)
+    with pytest.raises(ValueError):
+        memory.record_accesses(-1.0, llc)
+
+
+def test_llc_model_validation():
+    with pytest.raises(ValueError):
+        LlcModel(base_miss_rate=1.5, working_set_mb=1.0)
+    with pytest.raises(ValueError):
+        LlcModel(base_miss_rate=0.5, working_set_mb=-1.0)
+
+
+def test_miss_rate_never_exceeds_one(env):
+    memory = MemorySystem(env, MemorySpec(l3_mb=1.0, pressure_sensitivity=10.0))
+    llc = LlcModel(base_miss_rate=0.9, working_set_mb=50.0)
+    for _ in range(5):
+        memory.register_workload(50.0)
+    assert memory.effective_miss_rate(llc) <= 1.0

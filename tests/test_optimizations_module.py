@@ -1,0 +1,41 @@
+"""Tests for the Section-6 optimization helpers."""
+
+import pytest
+
+from repro.graphics.pipeline import PipelineConfig
+from repro.optimizations import (
+    OPTIMIZATIONS,
+    apply_optimizations,
+    optimized_pipeline_config,
+)
+from repro.server.session import SessionConfig
+
+
+def test_two_optimizations_are_registered():
+    keys = [opt.key for opt in OPTIMIZATIONS]
+    assert keys == ["memoize_xgwa", "two_step_copy"]
+    for opt in OPTIMIZATIONS:
+        assert opt.name and opt.description
+        assert hasattr(PipelineConfig(), opt.config_field)
+
+
+def test_optimized_pipeline_config_enables_selected_flags():
+    base = PipelineConfig()
+    only_memo = optimized_pipeline_config(base, ["memoize_xgwa"])
+    assert only_memo.memoize_window_attributes and not only_memo.two_step_frame_copy
+    both = optimized_pipeline_config(base)
+    assert both.memoize_window_attributes and both.two_step_frame_copy
+    # The base config is untouched (immutability).
+    assert not base.memoize_window_attributes
+
+
+def test_unknown_optimization_key_rejected():
+    with pytest.raises(KeyError):
+        optimized_pipeline_config(PipelineConfig(), ["warp_drive"])
+
+
+def test_apply_optimizations_to_session_config():
+    config = apply_optimizations(SessionConfig())
+    assert config.pipeline.memoize_window_attributes
+    assert config.pipeline.two_step_frame_copy
+    assert not SessionConfig().pipeline.two_step_frame_copy

@@ -1,0 +1,148 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.measurements import LatencyStats, percentage_error
+from repro.core.tags import InputRecord, TagGenerator
+from repro.graphics.frame import Frame, ObjectClass, SceneObject
+from repro.graphics.pipeline import Stage, StageTimings
+from repro.hardware.cpu import CycleBreakdown
+from repro.hardware.memory import LlcModel, MemorySpec, MemorySystem
+from repro.hardware.power import PowerModel
+from repro.sim.engine import Environment
+from repro.sim.randomness import StreamRandom
+
+positive_floats = st.floats(min_value=1e-6, max_value=1e6, allow_nan=False,
+                            allow_infinity=False)
+unit_floats = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+                min_size=1, max_size=200))
+def test_latency_stats_percentiles_are_ordered(samples):
+    stats = LatencyStats.from_samples(samples)
+    assert stats.p1 <= stats.p25 <= stats.median <= stats.p75 <= stats.p99
+    assert min(samples) <= stats.mean <= max(samples)
+    assert stats.count == len(samples)
+
+
+@given(positive_floats, positive_floats)
+def test_percentage_error_is_symmetric_in_sign(measured, reference):
+    error = percentage_error(measured, reference)
+    assert error >= 0.0
+    assert percentage_error(reference, reference) == 0.0
+
+
+@given(st.integers(min_value=0, max_value=50), st.integers(min_value=1, max_value=500))
+def test_tag_generator_tags_unique_across_namespaces(namespace, count):
+    generator = TagGenerator(namespace=namespace, capacity=1000)
+    tags = [generator.next_tag() for _ in range(min(count, 1000))]
+    assert len(set(tags)) == len(tags)
+    assert all(tag // 1000 == namespace for tag in tags)
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_frame_tag_embedding_roundtrip(tag):
+    frame = Frame(objects=[SceneObject(ObjectClass.ENEMY, x=0.5, y=0.5)])
+    frame.embed_tag(tag)
+    assert frame.extract_tag() == tag
+    frame.restore_tag_pixels()
+    assert frame.extract_tag() is None
+
+
+@given(unit_floats, unit_floats,
+       st.floats(min_value=0.01, max_value=0.3, allow_nan=False))
+def test_scene_object_advanced_stays_on_screen(x, y, size):
+    obj = SceneObject(ObjectClass.TARGET, x=x, y=y, size=size,
+                      velocity_x=1.0, velocity_y=-1.0)
+    moved = obj.advanced(2.0)
+    assert 0.0 <= moved.x <= 1.0
+    assert 0.0 <= moved.y <= 1.0
+
+
+@given(st.lists(st.tuples(st.sampled_from([Stage.AL, Stage.FC, Stage.CP]),
+                          st.floats(min_value=0.0, max_value=1.0, allow_nan=False)),
+                min_size=1, max_size=100))
+def test_stage_timings_mean_bounded_by_samples(samples):
+    timings = StageTimings()
+    for stage, duration in samples:
+        timings.record(stage, duration)
+    for stage in (Stage.AL, Stage.FC, Stage.CP):
+        values = [d for s, d in samples if s == stage]
+        if values:
+            assert min(values) - 1e-12 <= timings.mean(stage) <= max(values) + 1e-12
+        else:
+            assert timings.mean(stage) == 0.0
+
+
+@given(st.lists(st.tuples(unit_floats, unit_floats, unit_floats, unit_floats),
+                min_size=1, max_size=30))
+def test_cycle_breakdown_fractions_sum_to_one(chunks):
+    total = CycleBreakdown()
+    for retiring, frontend, backend, bad in chunks:
+        total.add(CycleBreakdown(retiring=retiring, frontend_bound=frontend,
+                                 backend_bound=backend, bad_speculation=bad))
+    fractions = total.fractions()
+    if total.total > 0:
+        assert sum(fractions.values()) == 1.0 or \
+            abs(sum(fractions.values()) - 1.0) < 1e-9
+    else:
+        assert all(value == 0.0 for value in fractions.values())
+
+
+@given(st.floats(min_value=0.0, max_value=0.99), positive_floats,
+       st.floats(min_value=0.0, max_value=10.0))
+def test_llc_miss_rate_bounded(base, working_set, pressure):
+    llc = LlcModel(base_miss_rate=base, working_set_mb=working_set)
+    effective = llc.effective_miss_rate(pressure, sensitivity=0.5)
+    assert base <= effective <= 1.0
+
+
+@given(st.lists(st.floats(min_value=0.1, max_value=64.0), min_size=1, max_size=8),
+       unit_floats)
+def test_memory_stall_factor_bounded(working_sets, intensity):
+    env = Environment()
+    memory = MemorySystem(env, MemorySpec())
+    for ws in working_sets:
+        memory.register_workload(ws)
+    factor = memory.cpu_stall_factor(intensity)
+    assert 1.0 <= factor <= memory.spec.max_stall_factor
+
+
+@given(st.floats(min_value=0.0, max_value=16.0), unit_floats,
+       st.integers(min_value=1, max_value=8))
+def test_per_instance_power_monotone_in_instances(cpu_busy, gpu_util, instances):
+    model = PowerModel()
+    total = model.average_power(cpu_busy, gpu_util, instances)
+    per_instance = model.per_instance_power(cpu_busy, gpu_util, instances)
+    assert per_instance <= total
+    more = model.per_instance_power(cpu_busy, gpu_util, instances + 1)
+    assert more <= per_instance + 1e-9
+
+
+@given(st.integers(min_value=0, max_value=2**32))
+def test_stream_random_jitter_bounds(seed):
+    rng = StreamRandom(seed)
+    value = rng.jitter(10.0, 0.25)
+    assert 7.5 <= value <= 12.5
+
+
+@given(st.floats(min_value=0.0, max_value=100.0),
+       st.floats(min_value=0.0, max_value=100.0))
+def test_input_record_rtt_non_negative(created, extra):
+    record = InputRecord(tag=1, kind="key_event", created_at=created)
+    record.complete(created + extra)
+    assert record.rtt >= 0.0
+
+
+@settings(max_examples=25)
+@given(st.floats(min_value=0.05, max_value=0.95),
+       st.floats(min_value=0.05, max_value=0.95))
+def test_frame_rasterization_marks_object_location(x, y):
+    frame = Frame(objects=[SceneObject(ObjectClass.UI_ELEMENT, x=x, y=y, size=0.1)])
+    pixels = frame.pixels
+    row = int(y * (frame.raster_height - 1))
+    col = int(x * (frame.raster_width - 1))
+    assert pixels[row, col].max() > 0.5   # the UI element's bright colour

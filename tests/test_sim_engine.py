@@ -1,0 +1,234 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+    Timeout,
+)
+
+
+def test_clock_starts_at_zero():
+    assert Environment().now == 0.0
+
+
+def test_timeout_advances_clock(env):
+    done = []
+
+    def proc(env):
+        yield env.timeout(2.5)
+        done.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert done == [2.5]
+
+
+def test_sequential_timeouts_accumulate(env):
+    times = []
+
+    def proc(env):
+        for delay in (1.0, 2.0, 3.0):
+            yield env.timeout(delay)
+            times.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert times == [1.0, 3.0, 6.0]
+
+
+def test_negative_timeout_rejected(env):
+    with pytest.raises(SimulationError):
+        Timeout(env, -1.0)
+
+
+def test_run_until_time_stops_early(env):
+    reached = []
+
+    def proc(env):
+        yield env.timeout(10.0)
+        reached.append(True)
+
+    env.process(proc(env))
+    env.run(until=5.0)
+    assert env.now == 5.0
+    assert not reached
+
+
+def test_run_until_event_returns_value(env):
+    def proc(env):
+        yield env.timeout(1.0)
+        return "result"
+
+    process = env.process(proc(env))
+    assert env.run(until=process) == "result"
+
+
+def test_event_succeed_delivers_value(env):
+    event = env.event()
+    collected = []
+
+    def waiter(env, event):
+        value = yield event
+        collected.append(value)
+
+    env.process(waiter(env, event))
+    event.succeed(42)
+    env.run()
+    assert collected == [42]
+
+
+def test_event_cannot_trigger_twice(env):
+    event = env.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_event_failure_propagates_into_process(env):
+    event = env.event()
+    caught = []
+
+    def waiter(env, event):
+        try:
+            yield event
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    env.process(waiter(env, event))
+    event.fail(ValueError("boom"))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_process_exception_surfaces(env):
+    def broken(env):
+        yield env.timeout(1.0)
+        raise RuntimeError("broken process")
+
+    env.process(broken(env))
+    with pytest.raises(RuntimeError, match="broken process"):
+        env.run()
+
+
+def test_process_is_event_and_waitable(env):
+    order = []
+
+    def child(env):
+        yield env.timeout(2.0)
+        order.append("child")
+        return 7
+
+    def parent(env):
+        value = yield env.process(child(env))
+        order.append("parent")
+        return value
+
+    parent_proc = env.process(parent(env))
+    result = env.run(until=parent_proc)
+    assert order == ["child", "parent"]
+    assert result == 7
+
+
+def test_yielding_non_event_raises(env):
+    def bad(env):
+        yield 42
+
+    env.process(bad(env))
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_non_generator_process_rejected(env):
+    with pytest.raises(SimulationError):
+        env.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_interrupt_delivers_cause(env):
+    causes = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as interrupt:
+            causes.append(interrupt.cause)
+
+    def interrupter(env, victim):
+        yield env.timeout(1.0)
+        victim.interrupt(cause="preempted")
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert causes == ["preempted"]
+
+
+def test_interrupting_dead_process_rejected(env):
+    def quick(env):
+        yield env.timeout(0.1)
+
+    process = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        process.interrupt()
+
+
+def test_all_of_waits_for_every_event(env):
+    def proc(env):
+        t1 = env.timeout(1.0, value="a")
+        t2 = env.timeout(3.0, value="b")
+        result = yield env.all_of([t1, t2])
+        return (env.now, sorted(result.values()))
+
+    process = env.process(proc(env))
+    now, values = env.run(until=process)
+    assert now == 3.0
+    assert values == ["a", "b"]
+
+
+def test_any_of_fires_on_first_event(env):
+    def proc(env):
+        t1 = env.timeout(1.0, value="fast")
+        t2 = env.timeout(5.0, value="slow")
+        result = yield env.any_of([t1, t2])
+        return (env.now, list(result.values()))
+
+    process = env.process(proc(env))
+    now, values = env.run(until=process)
+    assert now == 1.0
+    assert values == ["fast"]
+
+
+def test_empty_all_of_succeeds_immediately(env):
+    condition = AllOf(env, [])
+    assert condition.triggered
+
+
+def test_event_ordering_is_fifo_at_same_time(env):
+    order = []
+
+    def proc(env, label):
+        yield env.timeout(1.0)
+        order.append(label)
+
+    for label in ("first", "second", "third"):
+        env.process(proc(env, label))
+    env.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_peek_reports_next_event_time(env):
+    env.timeout(4.0)
+    assert env.peek() == 4.0
+
+
+def test_run_until_past_time_rejected(env):
+    env.timeout(1.0)
+    env.run()
+    with pytest.raises(SimulationError):
+        env.run(until=0.5)

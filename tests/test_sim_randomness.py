@@ -1,0 +1,87 @@
+"""Tests for the seeded random-stream helpers."""
+
+import numpy as np
+import pytest
+
+from repro.sim.randomness import RandomStreams, StreamRandom
+
+
+def test_same_seed_reproduces_sequence():
+    a = StreamRandom(42)
+    b = StreamRandom(42)
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_seeds_differ():
+    a = StreamRandom(1)
+    b = StreamRandom(2)
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_uniform_respects_bounds(rng):
+    for _ in range(200):
+        value = rng.uniform(2.0, 3.0)
+        assert 2.0 <= value <= 3.0
+
+
+def test_truncated_normal_respects_bounds(rng):
+    values = [rng.truncated_normal(0.0, 10.0, low=-1.0, high=1.0) for _ in range(200)]
+    assert all(-1.0 <= v <= 1.0 for v in values)
+
+
+def test_lognormal_mean_cv_matches_target_mean(rng):
+    samples = [rng.lognormal_mean_cv(5.0, 0.3) for _ in range(5000)]
+    assert np.mean(samples) == pytest.approx(5.0, rel=0.05)
+
+
+def test_lognormal_zero_cv_is_deterministic(rng):
+    assert rng.lognormal_mean_cv(3.0, 0.0) == 3.0
+
+
+def test_lognormal_requires_positive_mean(rng):
+    with pytest.raises(ValueError):
+        rng.lognormal_mean_cv(0.0, 0.5)
+
+
+def test_jitter_stays_within_fraction(rng):
+    for _ in range(200):
+        value = rng.jitter(10.0, 0.2)
+        assert 8.0 <= value <= 12.0
+
+
+def test_jitter_zero_fraction_is_identity(rng):
+    assert rng.jitter(7.0, 0.0) == 7.0
+
+
+def test_bernoulli_probability_roughly_respected(rng):
+    hits = sum(rng.bernoulli(0.3) for _ in range(5000))
+    assert 0.25 < hits / 5000 < 0.35
+
+
+def test_choice_returns_an_option(rng):
+    options = ["a", "b", "c"]
+    for _ in range(20):
+        assert rng.choice(options) in options
+
+
+def test_named_streams_are_independent_of_creation_order():
+    streams_a = RandomStreams(99)
+    streams_b = RandomStreams(99)
+    # Create in different orders; the same-named stream must agree.
+    first_a = streams_a.stream("alpha").random()
+    streams_b.stream("beta")
+    first_b = streams_b.stream("alpha").random()
+    assert first_a == first_b
+
+
+def test_stream_is_cached():
+    streams = RandomStreams(5)
+    assert streams.stream("x") is streams.stream("x")
+
+
+def test_names_lists_created_streams():
+    streams = RandomStreams(5)
+    streams.stream("b")
+    streams.stream("a")
+    assert streams.names() == ["a", "b"]
+    assert "a" in streams and "c" not in streams
