@@ -8,20 +8,45 @@ the published figures.  Absolute numbers are not expected to match the
 authors' testbed — the substrate here is a simulator — but the shapes
 (who wins, by roughly what factor, where crossovers fall) should.
 
-Durations are controlled by the ``PICTOR_BENCH_PROFILE`` environment
-variable: ``quick`` (default) finishes the full suite in minutes;
-``paper`` uses longer measurement intervals for lower variance.
+Every harness is marked ``bench`` (registered in ``pyproject.toml``), so
+CI can split the fast unit suite (``-m "not bench"``) from a benchmark
+smoke pass.  Execution goes through a shared
+:class:`~repro.experiments.executor.ExperimentSuite`, configurable via
+the environment:
+
+``PICTOR_BENCH_PROFILE``
+    ``smoke`` (seconds, CI), ``quick`` (default, minutes), ``standard``
+    or ``paper`` (longer, lower variance).
+``PICTOR_WORKERS``
+    worker-process count for the suite (default 1 = serial).
+``PICTOR_CACHE_DIR``
+    content-addressed result cache shared between figures and runs.
 """
 
 from __future__ import annotations
 
 import os
+from pathlib import Path
 from typing import Iterable, Sequence
 
 import pytest
 
-from repro.experiments.config import ExperimentConfig
 from repro.core.reporting import format_table
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.executor import ExperimentSuite
+
+_BENCH_DIR = Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items) -> None:
+    """Mark every harness in this directory with the ``bench`` marker."""
+    for item in items:
+        try:
+            in_bench_dir = Path(item.path).is_relative_to(_BENCH_DIR)
+        except (TypeError, ValueError):
+            in_bench_dir = False
+        if in_bench_dir:
+            item.add_marker(pytest.mark.bench)
 
 
 def _make_config() -> ExperimentConfig:
@@ -30,6 +55,8 @@ def _make_config() -> ExperimentConfig:
         return ExperimentConfig.paper(seed=42)
     if profile == "standard":
         return ExperimentConfig(seed=42)
+    if profile == "smoke":
+        return ExperimentConfig.smoke(seed=42)
     return ExperimentConfig(seed=42, duration_s=10.0, warmup_s=1.0,
                             recording_seconds=8.0, cnn_epochs=6, lstm_epochs=15)
 
@@ -38,6 +65,21 @@ def _make_config() -> ExperimentConfig:
 def config() -> ExperimentConfig:
     """The experiment configuration shared by every harness."""
     return _make_config()
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """The execution suite shared by every harness.
+
+    One suite (and therefore one worker pool and one result cache) spans
+    the whole benchmark session, so figures slicing the same testbed runs
+    — 10–13 share a sweep, 8–9 share the characterization runs — execute
+    them only once.
+    """
+    workers = max(1, int(os.environ.get("PICTOR_WORKERS", "1") or "1"))
+    cache_dir = os.environ.get("PICTOR_CACHE_DIR") or None
+    with ExperimentSuite(workers=workers, cache_dir=cache_dir) as shared:
+        yield shared
 
 
 def emit(title: str, headers: Sequence[str], rows: Iterable[Sequence[object]],

@@ -13,9 +13,9 @@ from conftest import emit
 from repro.experiments.ablations import contention_model_ablation
 
 
-def test_ablation_contention_model(benchmark, config):
+def test_ablation_contention_model(benchmark, config, suite):
     result = benchmark.pedantic(
-        lambda: contention_model_ablation("D2", instances=4, config=config),
+        lambda: contention_model_ablation("D2", instances=4, config=config, suite=suite),
         rounds=1, iterations=1)
 
     emit("Ablation: RTT inflation at 4 colocated instances (D2)",

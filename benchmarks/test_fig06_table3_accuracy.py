@@ -11,22 +11,19 @@ from __future__ import annotations
 import numpy as np
 
 from conftest import emit
-from repro.experiments.accuracy import methodology_accuracy, prepare_intelligent_client
+from repro.experiments.accuracy import methodology_accuracy_rows
 
 #: The benchmarks exercised by the harness (a subset keeps the quick
 #: profile's runtime reasonable; set PICTOR_BENCH_PROFILE=paper for all six).
 ACCURACY_BENCHMARKS = ("STK", "RE", "ITP")
 
 
-def test_fig06_table3_methodology_accuracy(benchmark, config):
+def test_fig06_table3_methodology_accuracy(benchmark, config, suite):
     def run():
-        rows = []
-        for index, bench in enumerate(ACCURACY_BENCHMARKS):
-            client, recording = prepare_intelligent_client(bench, config,
-                                                           seed_offset=index)
-            rows.append(methodology_accuracy(bench, config, client=client,
-                                             recording=recording))
-        return rows
+        # One job per benchmark: each trains its intelligent client (seed
+        # offset by its index, as before) and runs all five methodologies.
+        return methodology_accuracy_rows(ACCURACY_BENCHMARKS, config,
+                                         suite=suite)
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
 

@@ -15,9 +15,9 @@ from repro.experiments.accuracy import inference_times
 FIG7_BENCHMARKS = ("STK", "0AD", "RE", "D2", "IM", "ITP")
 
 
-def test_fig07_inference_times(benchmark, config):
+def test_fig07_inference_times(benchmark, config, suite):
     rows = benchmark.pedantic(
-        lambda: inference_times(FIG7_BENCHMARKS, config),
+        lambda: inference_times(FIG7_BENCHMARKS, config, suite=suite),
         rounds=1, iterations=1)
 
     emit("Figure 7: intelligent-client inference time per benchmark",

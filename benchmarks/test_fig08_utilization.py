@@ -12,9 +12,9 @@ from conftest import emit
 from repro.experiments.characterization import utilization
 
 
-def test_fig08_utilization(benchmark, config):
+def test_fig08_utilization(benchmark, config, suite):
     rows = benchmark.pedantic(
-        lambda: utilization(config.benchmarks, config), rounds=1, iterations=1)
+        lambda: utilization(config.benchmarks, config, suite=suite), rounds=1, iterations=1)
 
     emit("Figure 8: CPU / GPU utilization and memory footprints (single instance)",
          ["bench", "app CPU", "VNC CPU", "GPU", "CPU mem (MB)", "GPU mem (MB)"],

@@ -13,9 +13,9 @@ from conftest import emit
 from repro.experiments.characterization import bandwidth
 
 
-def test_fig09_bandwidth(benchmark, config):
+def test_fig09_bandwidth(benchmark, config, suite):
     rows = benchmark.pedantic(
-        lambda: bandwidth(config.benchmarks, config), rounds=1, iterations=1)
+        lambda: bandwidth(config.benchmarks, config, suite=suite), rounds=1, iterations=1)
 
     emit("Figure 9: network and PCIe bandwidth usage (single instance)",
          ["bench", "net send (Mbps)", "net recv (Mbps)",

@@ -13,9 +13,10 @@ from repro.experiments.scaling import scaling_sweep
 SCALING_BENCHMARKS = ("STK", "RE", "D2", "ITP")
 
 
-def test_fig10_fps_scaling(benchmark, config):
+def test_fig10_fps_scaling(benchmark, config, suite):
     def run():
-        return {bench: scaling_sweep(bench, config, max_instances=config.max_instances)
+        return {bench: scaling_sweep(bench, config, max_instances=config.max_instances,
+                                      suite=suite)
                 for bench in SCALING_BENCHMARKS}
 
     sweeps = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -14,9 +14,10 @@ from repro.experiments.scaling import scaling_sweep
 RTT_BENCHMARKS = ("0AD", "RE", "IM")
 
 
-def test_fig11_rtt_breakdown(benchmark, config):
+def test_fig11_rtt_breakdown(benchmark, config, suite):
     def run():
-        return {bench: scaling_sweep(bench, config, max_instances=config.max_instances)
+        return {bench: scaling_sweep(bench, config, max_instances=config.max_instances,
+                                      suite=suite)
                 for bench in RTT_BENCHMARKS}
 
     sweeps = benchmark.pedantic(run, rounds=1, iterations=1)

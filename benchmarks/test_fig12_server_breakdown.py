@@ -13,9 +13,10 @@ from repro.experiments.scaling import scaling_sweep
 SERVER_BENCHMARKS = ("STK", "D2", "ITP")
 
 
-def test_fig12_server_breakdown(benchmark, config):
+def test_fig12_server_breakdown(benchmark, config, suite):
     def run():
-        return {bench: scaling_sweep(bench, config, max_instances=config.max_instances)
+        return {bench: scaling_sweep(bench, config, max_instances=config.max_instances,
+                                      suite=suite)
                 for bench in SERVER_BENCHMARKS}
 
     sweeps = benchmark.pedantic(run, rounds=1, iterations=1)

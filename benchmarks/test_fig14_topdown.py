@@ -13,10 +13,11 @@ from repro.experiments.architecture import architecture_sweep
 TOPDOWN_BENCHMARKS = ("STK", "D2")
 
 
-def test_fig14_topdown_breakdown(benchmark, config):
+def test_fig14_topdown_breakdown(benchmark, config, suite):
     def run():
         return {bench: architecture_sweep(bench, config,
-                                          max_instances=config.max_instances)
+                                          max_instances=config.max_instances,
+                                          suite=suite)
                 for bench in TOPDOWN_BENCHMARKS}
 
     sweeps = benchmark.pedantic(run, rounds=1, iterations=1)

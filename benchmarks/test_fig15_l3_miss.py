@@ -14,10 +14,11 @@ from repro.experiments.architecture import architecture_sweep
 L3_BENCHMARKS = ("STK", "RE", "IM")
 
 
-def test_fig15_l3_miss_rates(benchmark, config):
+def test_fig15_l3_miss_rates(benchmark, config, suite):
     def run():
         return {bench: architecture_sweep(bench, config,
-                                          max_instances=config.max_instances)
+                                          max_instances=config.max_instances,
+                                          suite=suite)
                 for bench in L3_BENCHMARKS}
 
     sweeps = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -17,10 +17,11 @@ from repro.experiments.architecture import architecture_sweep
 GPU_BENCHMARKS = ("RE", "IM", "0AD")
 
 
-def test_fig16_gpu_cache_miss_rates(benchmark, config):
+def test_fig16_gpu_cache_miss_rates(benchmark, config, suite):
     def run():
         return {bench: architecture_sweep(bench, config,
-                                          max_instances=config.max_instances)
+                                          max_instances=config.max_instances,
+                                          suite=suite)
                 for bench in GPU_BENCHMARKS}
 
     sweeps = benchmark.pedantic(run, rounds=1, iterations=1)

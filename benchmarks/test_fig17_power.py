@@ -13,10 +13,11 @@ from repro.experiments.power import per_instance_power
 POWER_BENCHMARKS = ("RE", "D2")
 
 
-def test_fig17_per_instance_power(benchmark, config):
+def test_fig17_per_instance_power(benchmark, config, suite):
     def run():
         return {bench: per_instance_power(bench, config,
-                                          max_instances=config.max_instances)
+                                          max_instances=config.max_instances,
+                                          suite=suite)
                 for bench in POWER_BENCHMARKS}
 
     sweeps = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -12,12 +12,12 @@ from conftest import emit
 from repro.experiments.mixed import all_pairs, pair_energy_saving, pair_fps
 
 
-def test_fig18_mixed_pair_fps(benchmark, config):
+def test_fig18_mixed_pair_fps(benchmark, config, suite):
     pairs = all_pairs(config.benchmarks)
 
     def run():
-        results = pair_fps(config, pairs=pairs)
-        saving = pair_energy_saving(("RE", "ITP"), config)
+        results = pair_fps(config, pairs=pairs, suite=suite)
+        saving = pair_energy_saving(("RE", "ITP"), config, suite=suite)
         return results, saving
 
     results, saving = benchmark.pedantic(run, rounds=1, iterations=1)

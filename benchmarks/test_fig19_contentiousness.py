@@ -8,16 +8,15 @@ contentiousness of a co-runner are correlated.
 
 from __future__ import annotations
 
-import numpy as np
 
 from conftest import emit
 from repro.experiments.mixed import contentiousness
 
 
-def test_fig19_dota2_contentiousness(benchmark, config):
+def test_fig19_dota2_contentiousness(benchmark, config, suite):
     co_runners = [b for b in config.benchmarks if b != "D2"]
     rows = benchmark.pedantic(
-        lambda: contentiousness("D2", config, co_runners=co_runners),
+        lambda: contentiousness("D2", config, co_runners=co_runners, suite=suite),
         rounds=1, iterations=1)
 
     def fmt(value):

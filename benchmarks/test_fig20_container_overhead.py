@@ -12,9 +12,9 @@ from conftest import emit
 from repro.experiments.containers import container_overhead
 
 
-def test_fig20_container_overhead(benchmark, config):
+def test_fig20_container_overhead(benchmark, config, suite):
     summary = benchmark.pedantic(
-        lambda: container_overhead(config.benchmarks, config),
+        lambda: container_overhead(config.benchmarks, config, suite=suite),
         rounds=1, iterations=1)
 
     emit("Figure 20: container overhead per benchmark (negative = speed-up)",

@@ -15,10 +15,10 @@ from repro.experiments.optimizations import (
 )
 
 
-def test_fig22_optimized_frame_copy(benchmark, config):
+def test_fig22_optimized_frame_copy(benchmark, config, suite):
     def run():
-        summary = optimization_improvements(config.benchmarks, config)
-        ablation = optimization_ablation("STK", config)
+        summary = optimization_improvements(config.benchmarks, config, suite=suite)
+        ablation = optimization_ablation("STK", config, suite=suite)
         return summary, ablation
 
     summary, ablation = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -13,10 +13,10 @@ from repro.experiments.overhead import framework_overhead, query_buffer_ablation
 OVERHEAD_BENCHMARKS = ("STK", "RE", "D2", "ITP")
 
 
-def test_sec4_framework_overhead(benchmark, config):
+def test_sec4_framework_overhead(benchmark, config, suite):
     def run():
-        summary = framework_overhead(OVERHEAD_BENCHMARKS, config)
-        ablation = query_buffer_ablation("STK", config)
+        summary = framework_overhead(OVERHEAD_BENCHMARKS, config, suite=suite)
+        ablation = query_buffer_ablation("STK", config, suite=suite)
         return summary, ablation
 
     summary, ablation = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -10,15 +10,23 @@ motivates cloud consolidation:
 * run a mixed pair of two different benchmarks and compare its energy
   against running the two applications on separate servers.
 
-Run with:  python examples/colocation_study.py
+The whole grid — four colocation levels plus the three energy-comparison
+runs — is declared as experiment jobs and executed through one
+:class:`~repro.experiments.executor.ExperimentSuite`, so it fans out over
+worker processes and the results are identical to a serial run.
+
+Run with:  PYTHONPATH=src python examples/colocation_study.py
 """
 
 from __future__ import annotations
 
+import os
+
 from repro.core.reporting import format_table
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.mixed import pair_energy_saving
-from repro.experiments.runner import run_colocated
+from repro.experiments.executor import ExperimentSuite
+from repro.experiments.jobs import ExperimentJob
+from repro.experiments.mixed import pair_energy_from_results, pair_energy_jobs
 
 BENCHMARK = "D2"           # Dota 2: the heaviest CPU consumer of the suite
 MIXED_PAIR = ("RE", "ITP")
@@ -27,10 +35,21 @@ MIXED_PAIR = ("RE", "ITP")
 def main() -> None:
     config = ExperimentConfig(seed=11, duration_s=15.0, warmup_s=2.0)
 
+    colocation_jobs = [
+        ExperimentJob(benchmarks=(BENCHMARK,) * instances, config=config,
+                      seed_offset=instances)
+        for instances in range(1, 5)
+    ]
+    workers = min(4, os.cpu_count() or 1)
+    with ExperimentSuite(workers=workers) as suite:
+        results = suite.run(colocation_jobs + pair_energy_jobs(MIXED_PAIR, config))
+    colocation_results = results[:len(colocation_jobs)]
+    saving = pair_energy_from_results(results[len(colocation_jobs):])
+
     rows = []
     baseline_per_instance_power = None
-    for instances in range(1, 5):
-        result = run_colocated(BENCHMARK, instances, config, seed_offset=instances)
+    for result in colocation_results:
+        instances = len(result.reports)
         report = result.reports[0]
         mean_client_fps = result.mean_client_fps
         if baseline_per_instance_power is None:
@@ -60,7 +79,6 @@ def main() -> None:
     print("power drops by roughly a third to two thirds — the consolidation win.")
     print()
 
-    saving = pair_energy_saving(MIXED_PAIR, config)
     print(format_table(
         ["configuration", "power (W)"],
         [[f"{MIXED_PAIR[0]} + {MIXED_PAIR[1]} sharing one server",

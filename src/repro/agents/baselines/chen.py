@@ -21,7 +21,6 @@ reproduces the estimator so the error can be reproduced too.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -22,7 +22,6 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from repro.client.proxy import ClientProxyConfig
 from repro.server.session import SessionConfig
 
 __all__ = ["SlowMotionMethodology"]

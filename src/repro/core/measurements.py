@@ -8,6 +8,7 @@ provides exactly those summaries.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -35,9 +36,14 @@ class LatencyStats:
         if values.size == 0:
             return LatencyStats(count=0, mean=0.0, p1=0.0, p25=0.0, median=0.0,
                                 p75=0.0, p99=0.0, std=0.0)
+        # Compensated (exact) summation, then clamp: naive pairwise
+        # summation can land the mean a few ULPs outside [min, max],
+        # which breaks the ordering invariant downstream checks rely on.
+        mean = math.fsum(values.tolist()) / values.size
+        mean = min(max(mean, float(values.min())), float(values.max()))
         return LatencyStats(
             count=int(values.size),
-            mean=float(values.mean()),
+            mean=mean,
             p1=float(np.percentile(values, 1)),
             p25=float(np.percentile(values, 25)),
             median=float(np.percentile(values, 50)),

@@ -1,15 +1,20 @@
-"""Plain-text report formatting.
+"""Plain-text report formatting and result merging.
 
 The benchmark harnesses print the same rows/series the paper's tables and
 figures report; this module keeps that formatting in one place so every
-harness produces consistent, readable output.
+harness produces consistent, readable output.  It also hosts the small
+numeric helpers that merge per-instance measurements coming back from
+(possibly parallel) testbed runs into the aggregates the figures plot.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Mapping, Optional, Sequence
 
-__all__ = ["format_table", "format_percentage", "format_ms", "format_breakdown"]
+import numpy as np
+
+__all__ = ["format_table", "format_percentage", "format_ms", "format_breakdown",
+           "format_rows", "mean_breakdown"]
 
 
 def format_ms(seconds: float, digits: int = 1) -> str:
@@ -52,3 +57,41 @@ def format_breakdown(breakdown: Mapping[str, float], unit: str = "ms",
     """Render a stage → duration mapping as 'AL=12.3ms FC=20.1ms ...'."""
     parts = [f"{stage}={value * scale:.1f}{unit}" for stage, value in breakdown.items()]
     return " ".join(parts)
+
+
+def mean_breakdown(breakdowns: Sequence[Mapping[str, float]],
+                   scale: float = 1.0) -> dict[str, float]:
+    """Merge per-instance stage breakdowns into one mean breakdown.
+
+    Instances missing a stage contribute zero for it, matching how the
+    paper averages per-stage times across colocated instances.
+    """
+    keys = {key for breakdown in breakdowns for key in breakdown}
+    return {key: float(np.mean([b.get(key, 0.0) for b in breakdowns])) * scale
+            for key in sorted(keys)}
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, bool) or value is None:
+        return {True: "yes", False: "-", None: "n/a"}[value]
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def format_rows(rows: Sequence[Mapping[str, object]], title: str = "",
+                columns: Optional[Sequence[str]] = None) -> str:
+    """Render a list of row mappings (one figure's output) as a table.
+
+    Used by the ``python -m repro.experiments`` CLI, which must print
+    whatever row shape a figure aggregate produces.  Columns default to
+    the union of keys in first-appearance order so merged results from
+    different worker processes line up.
+    """
+    if not rows:
+        return format_table(["(empty)"], [], title=title)
+    if columns is None:
+        columns = list(dict.fromkeys(key for row in rows for key in row))
+    cells = [[_format_cell(row.get(column, "")) for column in columns]
+             for row in rows]
+    return format_table(list(columns), cells, title=title)

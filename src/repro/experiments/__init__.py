@@ -20,9 +20,24 @@ run in a quick CI-friendly mode or a longer, lower-variance mode.
 | Figure 20 (container overhead)            | :func:`repro.experiments.containers.container_overhead` |
 | Figures 21–22 (optimizations)             | :func:`repro.experiments.optimizations.optimization_improvements` |
 | Table 4 (feature comparison)              | :func:`repro.experiments.feature_matrix.feature_matrix` |
+
+Execution goes through the suite subsystem: every generator expresses its
+testbed runs as declarative :class:`~repro.experiments.jobs.ExperimentJob`
+lists that an :class:`~repro.experiments.executor.ExperimentSuite` runs
+serially, across worker processes, or out of a content-addressed result
+cache — always with bit-identical results.  ``python -m repro.experiments``
+exposes the whole registry on the command line (see
+:mod:`repro.experiments.figures`).
 """
 
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.executor import (
+    ExperimentSuite,
+    ResultCache,
+    default_suite,
+    run_jobs,
+)
+from repro.experiments.jobs import ExperimentJob, JobVariant, execute_job
 from repro.experiments.runner import (
     run_colocated,
     run_mixed_pair,
@@ -31,7 +46,14 @@ from repro.experiments.runner import (
 
 __all__ = [
     "ExperimentConfig",
+    "ExperimentJob",
+    "ExperimentSuite",
+    "JobVariant",
+    "ResultCache",
+    "default_suite",
+    "execute_job",
     "run_colocated",
+    "run_jobs",
     "run_mixed_pair",
     "run_single",
 ]

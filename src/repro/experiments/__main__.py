@@ -1,0 +1,122 @@
+"""CLI for the experiment execution subsystem.
+
+Run any figure of the paper (or the whole suite) with a chosen worker
+count and an optional on-disk result cache::
+
+    PYTHONPATH=src python -m repro.experiments --list
+    PYTHONPATH=src python -m repro.experiments --figure fig10 --workers 4
+    PYTHONPATH=src python -m repro.experiments --all --workers 8 \
+        --cache-dir .pictor-cache --profile quick
+
+Results are deterministic: ``--workers 1`` and ``--workers N`` print
+bit-identical tables, and a second run against the same ``--cache-dir``
+replays without executing anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import replace
+from typing import Optional
+
+from repro.core.reporting import format_rows
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.executor import ExperimentSuite
+from repro.experiments.figures import FIGURES, figure_names, run_figure
+
+PROFILES = ("quick", "smoke", "standard", "paper")
+
+
+def make_config(args) -> ExperimentConfig:
+    if args.profile == "paper":
+        config = ExperimentConfig.paper(seed=args.seed)
+    elif args.profile == "standard":
+        config = ExperimentConfig(seed=args.seed)
+    elif args.profile == "smoke":
+        config = ExperimentConfig.smoke(seed=args.seed)
+    else:
+        config = ExperimentConfig.quick(seed=args.seed)
+    if args.benchmarks:
+        config = config.with_benchmarks(args.benchmarks.split(","))
+    if args.max_instances:
+        config = replace(config, max_instances=args.max_instances)
+    if args.duration:
+        config = replace(config, duration_s=args.duration)
+    return config
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's figures through the parallel "
+                    "experiment execution subsystem.")
+    parser.add_argument("--figure", action="append", default=[],
+                        metavar="NAME",
+                        help="figure to run (repeatable); see --list")
+    parser.add_argument("--all", action="store_true",
+                        help="run every figure in the registry")
+    parser.add_argument("--list", action="store_true", dest="list_figures",
+                        help="list the available figures and exit")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="worker processes (1 = serial; default 1)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="content-addressed result cache directory")
+    parser.add_argument("--profile", choices=PROFILES, default="quick",
+                        help="measurement-interval preset (default: quick)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--benchmarks", default=None, metavar="A,B,...",
+                        help="comma-separated benchmark short names")
+    parser.add_argument("--max-instances", type=int, default=None, metavar="N",
+                        help="colocation sweep upper bound")
+    parser.add_argument("--duration", type=float, default=None, metavar="S",
+                        help="override the measurement interval (seconds)")
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_figures:
+        rows = [{"figure": name, "title": spec.title}
+                for name, spec in FIGURES.items()]
+        print(format_rows(rows, title="Available figures"))
+        return 0
+
+    names = list(args.figure)
+    if args.all:
+        names = figure_names()
+    if not names:
+        print("nothing to do: pass --figure NAME (repeatable), --all or --list",
+              file=sys.stderr)
+        return 2
+    unknown = [name for name in names if name not in FIGURES]
+    if unknown:
+        print(f"unknown figures: {', '.join(unknown)}; known: "
+              f"{', '.join(figure_names())}", file=sys.stderr)
+        return 2
+
+    try:
+        config = make_config(args)
+        suite = ExperimentSuite(workers=args.workers, cache_dir=args.cache_dir)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    started = time.perf_counter()
+    with suite:
+        for name in names:
+            rows = run_figure(name, config, suite)
+            print(format_rows(rows, title=FIGURES[name].title))
+            print()
+        stats = suite.stats
+    elapsed = time.perf_counter() - started
+    print(f"{len(names)} figure(s) in {elapsed:.1f}s — "
+          f"{stats.submitted} jobs submitted, {stats.executed} executed, "
+          f"{stats.deduplicated} deduplicated, {stats.cache_hits} cache hits "
+          f"({args.workers} worker(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,10 @@ of this reproduction:
   :func:`repro.experiments.overhead.query_buffer_ablation`);
 * the activity coupling between input generation and workload intensity —
   without it the Table 3 methodology comparison loses its signal.
+
+The contention-free machine is declared through the ``no_contention``
+entry of :data:`repro.experiments.jobs.MACHINE_SPECS`, so the ablation is
+four plain host jobs and parallelizes like any other experiment.
 """
 
 from __future__ import annotations
@@ -16,63 +20,46 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import run_colocated
-from repro.hardware.cpu import CpuSpec
-from repro.hardware.gpu import GpuSpec
-from repro.hardware.machine import MachineSpec
-from repro.hardware.memory import MemorySpec
-from repro.core.pictor import PictorConfig
-from repro.server.host import CloudHost, HostConfig
+from repro.experiments.executor import ExperimentSuite, run_jobs
+from repro.experiments.jobs import ExperimentJob, JobVariant
 
-__all__ = ["contention_model_ablation"]
+__all__ = ["contention_model_ablation", "contention_jobs",
+           "contention_from_results"]
 
 
-def _no_contention_spec() -> MachineSpec:
-    """A machine whose shared resources never push back.
-
-    Plenty of cores, an enormous L3 with no pressure sensitivity, and a
-    GPU that does not slow down when shared: colocation then costs almost
-    nothing, which is exactly what the contention model is there to avoid.
-    """
-    return MachineSpec(
-        cpu=CpuSpec(cores=64, frequency_ghz=3.6, l3_mb=2048.0),
-        memory=MemorySpec(l3_mb=2048.0, pressure_sensitivity=0.0,
-                          max_stall_factor=1.0),
-        gpu=GpuSpec(sharing_slowdown_per_context=0.0,
-                    l2_pressure_sensitivity=0.0, l2_miss_penalty=0.0,
-                    pipeline_depth=16),
-    )
+def contention_jobs(benchmark: str, instances: int,
+                    config: ExperimentConfig) -> list[ExperimentJob]:
+    """Single and loaded runs on the realistic and contention-free machines."""
+    flat = JobVariant(machine="no_contention")
+    return [
+        ExperimentJob(benchmarks=(benchmark,), config=config, seed_offset=800),
+        ExperimentJob(benchmarks=(benchmark,) * instances, config=config,
+                      seed_offset=801),
+        ExperimentJob(benchmarks=(benchmark,), config=config, seed_offset=802,
+                      variant=flat),
+        ExperimentJob(benchmarks=(benchmark,) * instances, config=config,
+                      seed_offset=803, variant=flat),
+    ]
 
 
-def contention_model_ablation(benchmark: str = "D2", instances: int = 4,
-                              config: Optional[ExperimentConfig] = None,
-                              ) -> dict[str, float]:
-    """Compare colocated RTT inflation with and without the contention model."""
-    config = config or ExperimentConfig()
-
-    # Realistic machine.
-    single = run_colocated(benchmark, 1, config, seed_offset=800)
-    loaded = run_colocated(benchmark, instances, config, seed_offset=801)
+def contention_from_results(results) -> dict[str, float]:
+    single, loaded, flat_single, flat_loaded = results
     realistic_inflation = _mean_rtt(loaded) / max(_mean_rtt(single), 1e-9)
-
-    # Contention-free machine.
-    flat_single = _run_on_spec(benchmark, 1, config, _no_contention_spec(), 802)
-    flat_loaded = _run_on_spec(benchmark, instances, config, _no_contention_spec(), 803)
     flat_inflation = _mean_rtt(flat_loaded) / max(_mean_rtt(flat_single), 1e-9)
-
     return {
         "realistic_rtt_inflation": realistic_inflation,
         "contention_free_rtt_inflation": flat_inflation,
     }
 
 
-def _run_on_spec(benchmark: str, instances: int, config: ExperimentConfig,
-                 spec: MachineSpec, seed_offset: int):
-    host = CloudHost(HostConfig(seed=config.seed + seed_offset, machine_spec=spec,
-                                pictor=PictorConfig()))
-    for _ in range(instances):
-        host.add_instance(benchmark)
-    return host.run(duration=config.duration_s, warmup=config.warmup_s)
+def contention_model_ablation(benchmark: str = "D2", instances: int = 4,
+                              config: Optional[ExperimentConfig] = None,
+                              suite: Optional[ExperimentSuite] = None,
+                              ) -> dict[str, float]:
+    """Compare colocated RTT inflation with and without the contention model."""
+    config = config or ExperimentConfig()
+    results = run_jobs(contention_jobs(benchmark, instances, config), suite)
+    return contention_from_results(results)
 
 
 def _mean_rtt(result) -> float:

@@ -28,10 +28,14 @@ from repro.agents.recorder import RecordedSession
 from repro.apps.registry import create_benchmark, get_profile
 from repro.core.measurements import LatencyStats, percentage_error
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.executor import ExperimentSuite, run_jobs
+from repro.experiments.jobs import ExperimentJob
 from repro.experiments.runner import make_session_config, run_single
 from repro.sim.randomness import StreamRandom
 
-__all__ = ["AccuracyRow", "inference_times", "methodology_accuracy",
+__all__ = ["AccuracyRow", "accuracy_jobs", "inference_jobs",
+           "inference_time_row", "inference_times",
+           "methodology_accuracy", "methodology_accuracy_rows",
            "prepare_intelligent_client"]
 
 #: The methodology labels, in the paper's order.
@@ -123,6 +127,29 @@ def methodology_accuracy(benchmark: str, config: Optional[ExperimentConfig] = No
     return row
 
 
+def accuracy_jobs(benchmarks, config: ExperimentConfig) -> list[ExperimentJob]:
+    """One Table-3 methodology comparison per benchmark, as jobs.
+
+    Each job trains the intelligent client for its benchmark (with the
+    training seed offset by the benchmark's index, mirroring the
+    benchmark harness) and runs all five methodologies.  The rows are
+    independent, so the suite parallelizes across benchmarks.
+    """
+    return [ExperimentJob(kind="accuracy", benchmarks=(benchmark,),
+                          config=config, seed_offset=index)
+            for index, benchmark in enumerate(benchmarks)]
+
+
+def methodology_accuracy_rows(benchmarks=None,
+                              config: Optional[ExperimentConfig] = None,
+                              suite: Optional[ExperimentSuite] = None,
+                              ) -> list[AccuracyRow]:
+    """Figure 6 / Table 3 rows for several benchmarks, through the suite."""
+    config = config or ExperimentConfig()
+    benchmarks = list(benchmarks or config.benchmarks)
+    return run_jobs(accuracy_jobs(benchmarks, config), suite)
+
+
 def _rebind(client: IntelligentClient, app) -> IntelligentClient:
     """Attach a trained client to the freshly created application instance."""
     client.app = app
@@ -142,27 +169,53 @@ def _tracker_of(result):
     return tracker
 
 
+def inference_time_row(benchmark: str, config: ExperimentConfig,
+                       index: int = 0,
+                       client: Optional[IntelligentClient] = None,
+                       ) -> dict[str, float]:
+    """One Figure-7 row: inference times of one benchmark's client.
+
+    ``index`` is the benchmark's position in the figure's list; it
+    offsets the training and frame-generation seeds exactly as the
+    original serial loop did, so routing through jobs is bit-identical.
+    """
+    if client is None:
+        client, _recording = prepare_intelligent_client(benchmark, config,
+                                                        seed_offset=index)
+    # Exercise inference on freshly generated frames.
+    app = create_benchmark(benchmark, rng=StreamRandom(config.seed + 997 + index))
+    for _ in range(40):
+        frame = app.advance(1.0 / 30.0)
+        client.decide(frame, now=0.0)
+    return {
+        "cv_time_ms": client.mean_cv_time() * 1e3,
+        "input_generation_time_ms": client.mean_rnn_time() * 1e3,
+        "achievable_apm": client.achievable_apm(),
+    }
+
+
+def inference_jobs(benchmarks, config: ExperimentConfig) -> list[ExperimentJob]:
+    """One Figure-7 inference measurement per benchmark, as jobs."""
+    return [ExperimentJob(kind="inference", benchmarks=(benchmark,),
+                          config=config, seed_offset=index)
+            for index, benchmark in enumerate(benchmarks)]
+
+
 def inference_times(benchmarks=None, config: Optional[ExperimentConfig] = None,
                     clients: Optional[dict[str, IntelligentClient]] = None,
+                    suite: Optional[ExperimentSuite] = None,
                     ) -> dict[str, dict[str, float]]:
-    """Figure 7: CNN (CV) and LSTM (input-generation) time per benchmark."""
+    """Figure 7: CNN (CV) and LSTM (input-generation) time per benchmark.
+
+    With pre-trained ``clients`` the rows are computed in-process (the
+    trained models cannot be described declaratively); otherwise each
+    benchmark becomes an independent job on the suite.
+    """
     config = config or ExperimentConfig()
     benchmarks = list(benchmarks or config.benchmarks)
-    rows: dict[str, dict[str, float]] = {}
-    for index, benchmark in enumerate(benchmarks):
-        if clients and benchmark in clients:
-            client = clients[benchmark]
-        else:
-            client, _recording = prepare_intelligent_client(benchmark, config,
-                                                            seed_offset=index)
-        # Exercise inference on freshly generated frames.
-        app = create_benchmark(benchmark, rng=StreamRandom(config.seed + 997 + index))
-        for _ in range(40):
-            frame = app.advance(1.0 / 30.0)
-            client.decide(frame, now=0.0)
-        rows[benchmark] = {
-            "cv_time_ms": client.mean_cv_time() * 1e3,
-            "input_generation_time_ms": client.mean_rnn_time() * 1e3,
-            "achievable_apm": client.achievable_apm(),
-        }
-    return rows
+    if clients:
+        return {benchmark: inference_time_row(benchmark, config, index=index,
+                                              client=clients.get(benchmark))
+                for index, benchmark in enumerate(benchmarks)}
+    results = run_jobs(inference_jobs(benchmarks, config), suite)
+    return dict(zip(benchmarks, results))

@@ -13,10 +13,12 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import run_colocated
+from repro.experiments.executor import ExperimentSuite, run_jobs
+from repro.experiments.jobs import ExperimentJob
 
-__all__ = ["ArchitecturePoint", "architecture_sweep", "topdown_scaling",
-           "l3_miss_scaling", "gpu_cache_scaling"]
+__all__ = ["ArchitecturePoint", "architecture_jobs",
+           "architecture_points_from_results", "architecture_sweep",
+           "topdown_scaling", "l3_miss_scaling", "gpu_cache_scaling"]
 
 
 @dataclass
@@ -31,18 +33,25 @@ class ArchitecturePoint:
     gpu_texture_miss_rate: Optional[float] = None
 
 
-def architecture_sweep(benchmark: str, config: Optional[ExperimentConfig] = None,
-                       max_instances: Optional[int] = None) -> list[ArchitecturePoint]:
-    """Colocate 1..N instances and read the first instance's counters."""
+def architecture_jobs(benchmark: str, config: Optional[ExperimentConfig] = None,
+                      max_instances: Optional[int] = None) -> list[ExperimentJob]:
+    """The 1..N colocation runs of the sweep, as declarative jobs."""
     config = config or ExperimentConfig()
     max_instances = max_instances or config.max_instances
+    return [ExperimentJob(benchmarks=(benchmark,) * count, config=config,
+                          seed_offset=100 + count)
+            for count in range(1, max_instances + 1)]
+
+
+def architecture_points_from_results(benchmark: str,
+                                     results) -> list[ArchitecturePoint]:
+    """Read the first instance's counters out of each sweep result."""
     points = []
-    for count in range(1, max_instances + 1):
-        result = run_colocated(benchmark, count, config, seed_offset=100 + count)
+    for result in results:
         report = result.reports[0]
         points.append(ArchitecturePoint(
             benchmark=benchmark,
-            instances=count,
+            instances=len(result.reports),
             topdown={
                 "retiring": report.cpu_pmu.get("retiring", 0.0),
                 "frontend_bound": report.cpu_pmu.get("frontend_bound", 0.0),
@@ -56,24 +65,36 @@ def architecture_sweep(benchmark: str, config: Optional[ExperimentConfig] = None
     return points
 
 
+def architecture_sweep(benchmark: str, config: Optional[ExperimentConfig] = None,
+                       max_instances: Optional[int] = None,
+                       suite: Optional[ExperimentSuite] = None,
+                       ) -> list[ArchitecturePoint]:
+    """Colocate 1..N instances and read the first instance's counters."""
+    jobs = architecture_jobs(benchmark, config, max_instances)
+    return architecture_points_from_results(benchmark, run_jobs(jobs, suite))
+
+
 def topdown_scaling(benchmark: str, config: Optional[ExperimentConfig] = None,
-                    max_instances: Optional[int] = None) -> list[dict]:
+                    max_instances: Optional[int] = None,
+                    suite: Optional[ExperimentSuite] = None) -> list[dict]:
     """Figure 14 rows for one benchmark."""
     return [{"instances": p.instances, **p.topdown}
-            for p in architecture_sweep(benchmark, config, max_instances)]
+            for p in architecture_sweep(benchmark, config, max_instances, suite)]
 
 
 def l3_miss_scaling(benchmark: str, config: Optional[ExperimentConfig] = None,
-                    max_instances: Optional[int] = None) -> list[dict]:
+                    max_instances: Optional[int] = None,
+                    suite: Optional[ExperimentSuite] = None) -> list[dict]:
     """Figure 15 rows for one benchmark."""
     return [{"instances": p.instances, "l3_miss_rate": p.l3_miss_rate}
-            for p in architecture_sweep(benchmark, config, max_instances)]
+            for p in architecture_sweep(benchmark, config, max_instances, suite)]
 
 
 def gpu_cache_scaling(benchmark: str, config: Optional[ExperimentConfig] = None,
-                      max_instances: Optional[int] = None) -> list[dict]:
+                      max_instances: Optional[int] = None,
+                      suite: Optional[ExperimentSuite] = None) -> list[dict]:
     """Figure 16 rows for one benchmark (None when the PMU is unreadable)."""
     return [{"instances": p.instances,
              "gpu_l2_miss_rate": p.gpu_l2_miss_rate,
              "gpu_texture_miss_rate": p.gpu_texture_miss_rate}
-            for p in architecture_sweep(benchmark, config, max_instances)]
+            for p in architecture_sweep(benchmark, config, max_instances, suite)]

@@ -4,6 +4,9 @@ Figure 8 reports per-benchmark CPU utilization (benchmark and VNC server
 separately), GPU utilization, and the memory footprints discussed in
 Section 5.1.1.  Figure 9 reports per-benchmark network bandwidth (frames
 to the client) and PCIe bandwidth in both directions.
+
+Both figures slice the *same* single-instance runs, so their job lists
+are identical and a shared result cache executes each run only once.
 """
 
 from __future__ import annotations
@@ -12,9 +15,12 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import run_single
+from repro.experiments.executor import ExperimentSuite, run_jobs
+from repro.experiments.jobs import ExperimentJob
 
-__all__ = ["BandwidthRow", "UtilizationRow", "bandwidth", "utilization"]
+__all__ = ["BandwidthRow", "UtilizationRow", "characterization_jobs",
+           "bandwidth", "bandwidth_from_results",
+           "utilization", "utilization_from_results"]
 
 
 @dataclass
@@ -40,14 +46,18 @@ class BandwidthRow:
     pcie_from_gpu_gbps: float
 
 
-def utilization(benchmarks=None, config: Optional[ExperimentConfig] = None,
-                ) -> list[UtilizationRow]:
-    """Figure 8: CPU and GPU utilization for each benchmark, run alone."""
+def characterization_jobs(benchmarks, config: Optional[ExperimentConfig] = None,
+                          ) -> list[ExperimentJob]:
+    """One single-instance run per benchmark (shared by Figures 8 and 9)."""
     config = config or ExperimentConfig()
-    benchmarks = list(benchmarks or config.benchmarks)
+    return [ExperimentJob(benchmarks=(benchmark,), config=config,
+                          seed_offset=index)
+            for index, benchmark in enumerate(benchmarks)]
+
+
+def utilization_from_results(benchmarks, results) -> list[UtilizationRow]:
     rows = []
-    for index, benchmark in enumerate(benchmarks):
-        result = run_single(benchmark, config, seed_offset=index)
+    for benchmark, result in zip(benchmarks, results):
         report = result.reports[0]
         rows.append(UtilizationRow(
             benchmark=benchmark,
@@ -60,14 +70,9 @@ def utilization(benchmarks=None, config: Optional[ExperimentConfig] = None,
     return rows
 
 
-def bandwidth(benchmarks=None, config: Optional[ExperimentConfig] = None,
-              ) -> list[BandwidthRow]:
-    """Figure 9: network and PCIe bandwidth usage for each benchmark."""
-    config = config or ExperimentConfig()
-    benchmarks = list(benchmarks or config.benchmarks)
+def bandwidth_from_results(benchmarks, results) -> list[BandwidthRow]:
     rows = []
-    for index, benchmark in enumerate(benchmarks):
-        result = run_single(benchmark, config, seed_offset=index)
+    for benchmark, result in zip(benchmarks, results):
         report = result.reports[0]
         rows.append(BandwidthRow(
             benchmark=benchmark,
@@ -77,3 +82,21 @@ def bandwidth(benchmarks=None, config: Optional[ExperimentConfig] = None,
             pcie_from_gpu_gbps=report.pcie_from_gpu_gbps,
         ))
     return rows
+
+
+def utilization(benchmarks=None, config: Optional[ExperimentConfig] = None,
+                suite: Optional[ExperimentSuite] = None) -> list[UtilizationRow]:
+    """Figure 8: CPU and GPU utilization for each benchmark, run alone."""
+    config = config or ExperimentConfig()
+    benchmarks = list(benchmarks or config.benchmarks)
+    results = run_jobs(characterization_jobs(benchmarks, config), suite)
+    return utilization_from_results(benchmarks, results)
+
+
+def bandwidth(benchmarks=None, config: Optional[ExperimentConfig] = None,
+              suite: Optional[ExperimentSuite] = None) -> list[BandwidthRow]:
+    """Figure 9: network and PCIe bandwidth usage for each benchmark."""
+    config = config or ExperimentConfig()
+    benchmarks = list(benchmarks or config.benchmarks)
+    results = run_jobs(characterization_jobs(benchmarks, config), suite)
+    return bandwidth_from_results(benchmarks, results)

@@ -9,7 +9,7 @@ it further for unit tests and CI.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.apps.registry import BENCHMARK_SHORT_NAMES
 
@@ -45,6 +45,18 @@ class ExperimentConfig:
         return ExperimentConfig(
             seed=seed, duration_s=8.0, warmup_s=1.0,
             recording_seconds=6.0, cnn_epochs=4, lstm_epochs=10)
+
+    @staticmethod
+    def smoke(seed: int = 0) -> "ExperimentConfig":
+        """The smallest sensible preset: CI smoke runs and CLI dry runs.
+
+        Shared by ``python -m repro.experiments --profile smoke`` and the
+        benchmark harnesses' ``PICTOR_BENCH_PROFILE=smoke`` so their jobs
+        hash identically and can share one result cache.
+        """
+        return ExperimentConfig(
+            seed=seed, duration_s=2.0, warmup_s=0.5,
+            recording_seconds=3.0, cnn_epochs=2, lstm_epochs=4)
 
     @staticmethod
     def paper(seed: int = 0) -> "ExperimentConfig":

@@ -16,9 +16,12 @@ from typing import Optional
 import numpy as np
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import run_single
+from repro.experiments.executor import ExperimentSuite, run_jobs
+from repro.experiments.jobs import ExperimentJob, JobVariant
 
-__all__ = ["ContainerOverheadRow", "ContainerOverheadSummary", "container_overhead"]
+__all__ = ["ContainerOverheadRow", "ContainerOverheadSummary",
+           "container_jobs", "container_overhead",
+           "container_overhead_from_results"]
 
 
 @dataclass
@@ -59,34 +62,42 @@ class ContainerOverheadSummary:
 
     @property
     def mean_fps_overhead_percent(self) -> float:
-        return float(np.mean([r.fps_overhead_percent for r in self.rows])) if self.rows else 0.0
+        return float(np.mean([r.fps_overhead_percent
+                              for r in self.rows])) if self.rows else 0.0
 
     @property
     def mean_rtt_overhead_percent(self) -> float:
-        return float(np.mean([r.rtt_overhead_percent for r in self.rows])) if self.rows else 0.0
+        return float(np.mean([r.rtt_overhead_percent
+                              for r in self.rows])) if self.rows else 0.0
 
     @property
     def mean_gpu_render_overhead_percent(self) -> float:
-        return float(np.mean([r.gpu_render_overhead_percent for r in self.rows])) if self.rows else 0.0
+        return float(np.mean([r.gpu_render_overhead_percent
+                              for r in self.rows])) if self.rows else 0.0
 
     @property
     def max_rtt_overhead_percent(self) -> float:
         return float(max((r.rtt_overhead_percent for r in self.rows), default=0.0))
 
 
-def container_overhead(benchmarks=None, config: Optional[ExperimentConfig] = None,
-                       ) -> ContainerOverheadSummary:
-    """Figure 20: per-benchmark container overheads (negative = speed-up)."""
-    config = config or ExperimentConfig()
-    benchmarks = list(benchmarks or config.benchmarks)
+def container_jobs(benchmarks, config: ExperimentConfig) -> list[ExperimentJob]:
+    """A (bare, containerized) job pair per benchmark, interleaved."""
+    jobs = []
+    for index, benchmark in enumerate(benchmarks):
+        jobs.append(ExperimentJob(benchmarks=(benchmark,), config=config,
+                                  seed_offset=600 + index))
+        jobs.append(ExperimentJob(benchmarks=(benchmark,), config=config,
+                                  seed_offset=600 + index,
+                                  variant=JobVariant(containerized=True)))
+    return jobs
+
+
+def container_overhead_from_results(benchmarks,
+                                    results) -> ContainerOverheadSummary:
     summary = ContainerOverheadSummary()
     for index, benchmark in enumerate(benchmarks):
-        bare = run_single(benchmark, config, seed_offset=600 + index,
-                          containerized=False)
-        contained = run_single(benchmark, config, seed_offset=600 + index,
-                               containerized=True)
-        bare_report = bare.reports[0]
-        contained_report = contained.reports[0]
+        bare_report = results[2 * index].reports[0]
+        contained_report = results[2 * index + 1].reports[0]
         summary.rows.append(ContainerOverheadRow(
             benchmark=benchmark,
             bare_fps=bare_report.server_fps,
@@ -98,3 +109,13 @@ def container_overhead(benchmarks=None, config: Optional[ExperimentConfig] = Non
                 "gpu_render_time_mean", 0.0) * 1e3,
         ))
     return summary
+
+
+def container_overhead(benchmarks=None, config: Optional[ExperimentConfig] = None,
+                       suite: Optional[ExperimentSuite] = None,
+                       ) -> ContainerOverheadSummary:
+    """Figure 20: per-benchmark container overheads (negative = speed-up)."""
+    config = config or ExperimentConfig()
+    benchmarks = list(benchmarks or config.benchmarks)
+    results = run_jobs(container_jobs(benchmarks, config), suite)
+    return container_overhead_from_results(benchmarks, results)

@@ -1,0 +1,210 @@
+"""Experiment execution: interchangeable serial / process-pool backends.
+
+:class:`ExperimentSuite` takes a list of :class:`ExperimentJob` values
+and returns their results in the same order.  Three layers cooperate:
+
+* **deduplication** — identical jobs in one submission execute once
+  (several figures slice the same testbed runs);
+* **caching** — with a ``cache_dir``, results are stored on disk keyed
+  by the job's content hash, so re-running a figure (or another figure
+  sharing its runs) replays instantly and bit-identically;
+* **execution backend** — ``workers <= 1`` runs jobs in-process;
+  ``workers > 1`` fans them out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`.
+
+Because :func:`repro.experiments.jobs.execute_job` is deterministic, the
+choice of backend (or a cache replay) never changes a result — only how
+fast it arrives.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.experiments.jobs import ExperimentJob, execute_job
+
+__all__ = ["ExperimentSuite", "ResultCache", "SuiteStats", "default_suite",
+           "run_jobs"]
+
+
+@dataclass
+class SuiteStats:
+    """What happened during :meth:`ExperimentSuite.run` calls."""
+
+    submitted: int = 0
+    executed: int = 0
+    deduplicated: int = 0
+    cache_hits: int = 0
+
+    def merged_with(self, other: "SuiteStats") -> "SuiteStats":
+        return SuiteStats(
+            submitted=self.submitted + other.submitted,
+            executed=self.executed + other.executed,
+            deduplicated=self.deduplicated + other.deduplicated,
+            cache_hits=self.cache_hits + other.cache_hits,
+        )
+
+
+class ResultCache:
+    """Content-addressed on-disk store of pickled job results.
+
+    Keys are the jobs' SHA-256 content hashes, so any change to the
+    benchmark list, any :class:`ExperimentConfig` field, any
+    :class:`JobVariant` knob or the seed produces a different key and the
+    stale entry is simply never consulted.
+    """
+
+    def __init__(self, root: os.PathLike | str):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    def get(self, job: ExperimentJob):
+        """The cached result for ``job``, or None when absent/unreadable."""
+        path = self._path(job.key())
+        if not path.exists():
+            return None
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except Exception:
+            return None    # unreadable/corrupt entry (any cause): plain miss
+
+    def put(self, job: ExperimentJob, result) -> None:
+        """Store ``result`` atomically (rename) so readers never see a
+        half-written entry."""
+        path = self._path(job.key())
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.pkl"))
+
+
+@dataclass
+class ExperimentSuite:
+    """Runs experiment jobs through a pluggable execution backend."""
+
+    workers: int = 1
+    cache_dir: Optional[os.PathLike | str] = None
+    stats: SuiteStats = field(default_factory=SuiteStats)
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        self._cache = ResultCache(self.cache_dir) if self.cache_dir else None
+        self._pool: Optional[ProcessPoolExecutor] = None
+        # Results live for the suite's lifetime, so figures sharing runs
+        # (10-13 share a sweep, 8-9 the characterization runs) execute
+        # them once per suite even without an on-disk cache.  Callers
+        # treat results as read-only; determinism makes sharing safe.
+        self._memo: dict[ExperimentJob, object] = {}
+
+    # -- lifecycle --------------------------------------------------------------------
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ExperimentSuite":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- execution --------------------------------------------------------------------
+    def run(self, jobs: Sequence[ExperimentJob]) -> list:
+        """Execute ``jobs`` and return their results, aligned with ``jobs``.
+
+        Duplicate jobs execute once; cached jobs are replayed from disk;
+        the rest run on the backend.  The result for a given job is
+        bit-identical regardless of which path produced it.
+        """
+        jobs = list(jobs)
+        self.stats.submitted += len(jobs)
+
+        unique: dict[ExperimentJob, object] = {}
+        for job in jobs:
+            if job in unique:
+                self.stats.deduplicated += 1
+            else:
+                unique[job] = None
+
+        pending: list[ExperimentJob] = []
+        for job in unique:
+            cached = self._memo.get(job)
+            if cached is None and self._cache is not None:
+                cached = self._cache.get(job)
+            if cached is not None:
+                unique[job] = cached
+                self._memo[job] = cached
+                self.stats.cache_hits += 1
+            else:
+                pending.append(job)
+
+        if pending:
+            self.stats.executed += len(pending)
+            for job, result in zip(pending, self._map(pending)):
+                unique[job] = result
+                self._memo[job] = result
+                if self._cache is not None:
+                    self._cache.put(job, result)
+
+        return [unique[job] for job in jobs]
+
+    def _map(self, jobs: list[ExperimentJob]) -> list:
+        if self.workers <= 1 or len(jobs) <= 1:
+            return [execute_job(job) for job in jobs]
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        futures = [self._pool.submit(execute_job, job) for job in jobs]
+        return [future.result() for future in futures]
+
+
+def run_jobs(jobs: Sequence[ExperimentJob],
+             suite: Optional[ExperimentSuite] = None) -> list:
+    """Run ``jobs`` on ``suite``, or on the environment-default suite."""
+    return (suite or default_suite()).run(jobs)
+
+
+_DEFAULT_SUITES: dict[tuple, ExperimentSuite] = {}
+
+
+def default_suite() -> ExperimentSuite:
+    """The process-wide suite the figure generators fall back to.
+
+    Configured through the environment so existing entry points (tests,
+    benchmark harnesses, examples) gain parallelism and caching without
+    signature changes:
+
+    * ``PICTOR_WORKERS`` — worker-process count (default 1 = serial);
+    * ``PICTOR_CACHE_DIR`` — result cache directory (default: none).
+
+    Suites are memoized per configuration so a process pool is reused
+    across calls rather than respawned.
+    """
+    workers = max(1, int(os.environ.get("PICTOR_WORKERS", "1") or "1"))
+    cache_dir = os.environ.get("PICTOR_CACHE_DIR") or None
+    key = (workers, cache_dir)
+    suite = _DEFAULT_SUITES.get(key)
+    if suite is None:
+        suite = ExperimentSuite(workers=workers, cache_dir=cache_dir)
+        _DEFAULT_SUITES[key] = suite
+    return suite

@@ -1,0 +1,245 @@
+"""Declarative experiment jobs: the unit of work of the execution subsystem.
+
+Every testbed run in the repository — single-instance, colocated,
+mixed-pair, containerized, optimization and machine-spec ablations, the
+intelligent-client accuracy rows — is described by an
+:class:`ExperimentJob`: *which* benchmark instances to place on a host,
+*how* the host and sessions are configured (:class:`JobVariant`), and the
+seed offset that decorrelates repeated runs.  A job is a frozen, fully
+picklable value object, so it can be shipped to a worker process, hashed
+into a cache key, and compared for deduplication.
+
+:func:`execute_job` is the single entry point that turns a job into a
+result.  It is a module-level function (required by
+:class:`concurrent.futures.ProcessPoolExecutor`) and is deterministic:
+the same job produces a bit-identical result whether executed serially,
+in a worker process, or replayed from the on-disk cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.core.pictor import PictorConfig
+from repro.experiments.config import ExperimentConfig
+from repro.graphics.pipeline import PipelineConfig
+from repro.hardware.cpu import CpuSpec
+from repro.hardware.gpu import GpuSpec
+from repro.hardware.machine import MachineSpec
+from repro.hardware.memory import MemorySpec
+from repro.server.host import CloudHost, HostConfig, HostResult
+from repro.server.session import SessionConfig
+
+__all__ = ["ExperimentJob", "JobVariant", "execute_job", "machine_spec"]
+
+#: Bump when the result layout changes so stale cache entries never load.
+CACHE_SCHEMA_VERSION = 1
+
+#: Job kinds understood by :func:`execute_job`.
+JOB_KINDS = ("host", "accuracy", "inference")
+
+
+def _no_contention_spec() -> MachineSpec:
+    """A machine whose shared resources never push back.
+
+    Plenty of cores, an enormous L3 with no pressure sensitivity, and a
+    GPU that does not slow down when shared: colocation then costs almost
+    nothing, which is exactly what the contention model is there to avoid
+    (see :mod:`repro.experiments.ablations`).
+    """
+    return MachineSpec(
+        cpu=CpuSpec(cores=64, frequency_ghz=3.6, l3_mb=2048.0),
+        memory=MemorySpec(l3_mb=2048.0, pressure_sensitivity=0.0,
+                          max_stall_factor=1.0),
+        gpu=GpuSpec(sharing_slowdown_per_context=0.0,
+                    l2_pressure_sensitivity=0.0, l2_miss_penalty=0.0,
+                    pipeline_depth=16),
+    )
+
+
+#: Named machine specifications a job may request.  Names (not spec
+#: objects) appear in the job so the cache key stays a small string.
+MACHINE_SPECS = {
+    "paper": MachineSpec.paper_server,
+    "no_contention": _no_contention_spec,
+}
+
+
+def machine_spec(name: str) -> MachineSpec:
+    try:
+        return MACHINE_SPECS[name]()
+    except KeyError:
+        raise KeyError(f"unknown machine spec {name!r}; "
+                       f"known: {sorted(MACHINE_SPECS)}") from None
+
+
+@dataclass(frozen=True)
+class JobVariant:
+    """The declarative configuration knobs of one testbed run.
+
+    The flags mirror :func:`repro.experiments.runner.make_session_config`
+    plus the host-level switches, so every combination the figure
+    generators use is expressible without closures (closures cannot cross
+    a process boundary).
+    """
+
+    containerized: bool = False
+    measurement_enabled: bool = True
+    double_buffered_queries: bool = True
+    memoize_window_attributes: bool = False
+    two_step_frame_copy: bool = False
+    slow_motion: bool = False
+    machine: str = "paper"
+
+    def __post_init__(self) -> None:
+        if self.machine not in MACHINE_SPECS:
+            raise ValueError(f"unknown machine spec {self.machine!r}; "
+                             f"known: {sorted(MACHINE_SPECS)}")
+
+    def session_config(self) -> SessionConfig:
+        """The per-session configuration this variant describes."""
+        pipeline = PipelineConfig(
+            measurement_enabled=self.measurement_enabled,
+            double_buffered_queries=self.double_buffered_queries,
+            memoize_window_attributes=self.memoize_window_attributes,
+            two_step_frame_copy=self.two_step_frame_copy,
+        )
+        return SessionConfig(pipeline=pipeline, slow_motion=self.slow_motion)
+
+    def pictor_config(self) -> PictorConfig:
+        return PictorConfig(
+            measurement_enabled=self.measurement_enabled,
+            double_buffered_queries=self.double_buffered_queries,
+        )
+
+    @staticmethod
+    def optimized(keys=None) -> "JobVariant":
+        """The variant with the selected Section-6 optimizations enabled.
+
+        Keys and their configuration fields come from the optimization
+        registry (:data:`repro.optimizations.OPTIMIZATIONS`), so the job
+        path and the legacy ``apply_optimizations`` path cannot diverge.
+        """
+        from repro.optimizations import OPTIMIZATIONS
+        known = {opt.key: opt.config_field for opt in OPTIMIZATIONS}
+        keys = tuple(known) if keys is None else tuple(keys)
+        unknown = set(keys) - set(known)
+        if unknown:
+            raise KeyError(f"unknown optimizations {sorted(unknown)}; "
+                           f"known: {sorted(known)}")
+        return JobVariant(**{known[key]: True for key in keys})
+
+
+@dataclass(frozen=True)
+class ExperimentJob:
+    """One independent unit of experiment work.
+
+    ``kind`` selects the executor routine:
+
+    ``host``
+        Build a :class:`~repro.server.host.CloudHost`, place one session
+        per entry of ``benchmarks`` on it, run for the config's
+        measurement interval and return the
+        :class:`~repro.server.host.HostResult`.
+    ``accuracy``
+        Train the intelligent client for ``benchmarks[0]`` (the training
+        seed is offset by ``seed_offset``) and run the five-methodology
+        Table-3 comparison, returning an
+        :class:`~repro.experiments.accuracy.AccuracyRow`.
+    ``inference``
+        Train the intelligent client for ``benchmarks[0]`` and measure
+        its CNN/LSTM inference times (one Figure-7 row, a dict).
+    """
+
+    benchmarks: tuple[str, ...]
+    config: ExperimentConfig
+    variant: JobVariant = field(default_factory=JobVariant)
+    seed_offset: int = 0
+    kind: str = "host"
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise ValueError(f"unknown job kind {self.kind!r}; "
+                             f"known: {JOB_KINDS}")
+        if not self.benchmarks:
+            raise ValueError("a job needs at least one benchmark")
+        if self.kind != "host" and len(self.benchmarks) != 1:
+            raise ValueError(f"{self.kind!r} jobs take exactly one benchmark")
+
+    def key(self) -> str:
+        """Content hash identifying this job's result in the cache."""
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "kind": self.kind,
+            "benchmarks": list(self.benchmarks),
+            "config": asdict(self.config),
+            "variant": asdict(self.variant),
+            "seed_offset": self.seed_offset,
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def describe(self) -> str:
+        """A short human-readable label for progress output."""
+        parts = ["+".join(self.benchmarks), f"seed+{self.seed_offset}"]
+        if self.kind != "host":
+            parts.insert(0, self.kind)
+        if self.variant != JobVariant():
+            changed = [name for name, value in asdict(self.variant).items()
+                       if value != getattr(JobVariant(), name)]
+            parts.append(",".join(changed))
+        return " ".join(parts)
+
+
+def build_job_host(job: ExperimentJob) -> CloudHost:
+    """Construct the (not yet run) testbed host a ``host`` job describes."""
+    variant = job.variant
+    host_config = HostConfig(
+        seed=job.config.seed + job.seed_offset,
+        machine_spec=machine_spec(variant.machine),
+        pictor=variant.pictor_config(),
+        containerized=variant.containerized,
+    )
+    host = CloudHost(host_config)
+    for benchmark in job.benchmarks:
+        host.add_instance(benchmark, session_config=variant.session_config())
+    return host
+
+
+def _execute_host(job: ExperimentJob) -> HostResult:
+    host = build_job_host(job)
+    return host.run(duration=job.config.duration_s,
+                    warmup=job.config.warmup_s)
+
+
+def _execute_accuracy(job: ExperimentJob):
+    # Imported lazily: accuracy builds its job lists from this module.
+    from repro.experiments.accuracy import (
+        methodology_accuracy,
+        prepare_intelligent_client,
+    )
+    benchmark = job.benchmarks[0]
+    client, recording = prepare_intelligent_client(
+        benchmark, job.config, seed_offset=job.seed_offset)
+    return methodology_accuracy(benchmark, job.config,
+                                client=client, recording=recording)
+
+
+def _execute_inference(job: ExperimentJob):
+    from repro.experiments.accuracy import inference_time_row
+    return inference_time_row(job.benchmarks[0], job.config,
+                              index=job.seed_offset)
+
+
+_EXECUTORS = {
+    "host": _execute_host,
+    "accuracy": _execute_accuracy,
+    "inference": _execute_inference,
+}
+
+
+def execute_job(job: ExperimentJob):
+    """Run one job to completion and return its (picklable) result."""
+    return _EXECUTORS[job.kind](job)

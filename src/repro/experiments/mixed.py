@@ -17,10 +17,15 @@ from itertools import combinations
 from typing import Optional
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import run_mixed_pair, run_single
+from repro.experiments.executor import ExperimentSuite, run_jobs
+from repro.experiments.jobs import ExperimentJob
 
-__all__ = ["ContentiousnessRow", "PairResult", "all_pairs", "pair_fps",
-           "contentiousness", "pair_energy_saving"]
+__all__ = ["ContentiousnessRow", "PairResult", "all_pairs",
+           "pair_fps", "pair_fps_jobs", "pair_fps_from_results",
+           "contentiousness", "contentiousness_jobs",
+           "contentiousness_from_results",
+           "pair_energy_saving", "pair_energy_jobs",
+           "pair_energy_from_results"]
 
 
 def all_pairs(benchmarks=None) -> list[tuple[str, str]]:
@@ -56,39 +61,58 @@ class ContentiousnessRow:
     gpu_cache_miss_increase: Optional[float]
 
 
-def pair_fps(config: Optional[ExperimentConfig] = None,
-             pairs=None) -> list[PairResult]:
+# -- Figure 18 ------------------------------------------------------------------------
+def pair_fps_jobs(pairs, config: ExperimentConfig) -> list[ExperimentJob]:
+    """One mixed-pair run per pair, as declarative jobs."""
+    return [ExperimentJob(benchmarks=(left, right), config=config,
+                          seed_offset=300 + index)
+            for index, (left, right) in enumerate(pairs)]
+
+
+def pair_fps_from_results(pairs, results) -> list[PairResult]:
+    rows = []
+    for (left, right), run in zip(pairs, results):
+        left_report, right_report = run.reports
+        rows.append(PairResult(
+            pair=(left, right),
+            client_fps={left: left_report.client_fps,
+                        right: right_report.client_fps},
+            server_fps={left: left_report.server_fps,
+                        right: right_report.server_fps},
+            total_power_watts=run.average_power_watts,
+        ))
+    return rows
+
+
+def pair_fps(config: Optional[ExperimentConfig] = None, pairs=None,
+             suite: Optional[ExperimentSuite] = None) -> list[PairResult]:
     """Figure 18: client FPS for every mixed pair."""
     config = config or ExperimentConfig()
     pairs = pairs or all_pairs(config.benchmarks)
-    results = []
-    for index, (left, right) in enumerate(pairs):
-        run = run_mixed_pair(left, right, config, seed_offset=300 + index)
-        left_report, right_report = run.reports
-        results.append(PairResult(
-            pair=(left, right),
-            client_fps={left: left_report.client_fps, right: right_report.client_fps},
-            server_fps={left: left_report.server_fps, right: right_report.server_fps},
-            total_power_watts=run.average_power_watts,
-        ))
-    return results
+    results = run_jobs(pair_fps_jobs(pairs, config), suite)
+    return pair_fps_from_results(pairs, results)
 
 
-def contentiousness(target: str = "D2", config: Optional[ExperimentConfig] = None,
-                    co_runners=None) -> list[ContentiousnessRow]:
-    """Figure 19: the target benchmark's sensitivity to each co-runner."""
-    config = config or ExperimentConfig()
-    co_runners = list(co_runners or [b for b in config.benchmarks if b != target])
+# -- Figure 19 ------------------------------------------------------------------------
+def contentiousness_jobs(target: str, co_runners,
+                         config: ExperimentConfig) -> list[ExperimentJob]:
+    """The solo run (first) followed by one pair run per co-runner."""
+    jobs = [ExperimentJob(benchmarks=(target,), config=config, seed_offset=400)]
+    jobs.extend(ExperimentJob(benchmarks=(target, co_runner), config=config,
+                              seed_offset=410 + index)
+                for index, co_runner in enumerate(co_runners))
+    return jobs
 
-    solo = run_single(target, config, seed_offset=400)
-    solo_report = solo.reports[0]
+
+def contentiousness_from_results(target: str, co_runners,
+                                 results) -> list[ContentiousnessRow]:
+    solo_report = results[0].reports[0]
     solo_fps = solo_report.client_fps
     solo_l3 = solo_report.cpu_pmu.get("l3_miss_rate", 0.0)
     solo_gpu = solo_report.gpu_pmu.get("l2_miss_rate")
 
     rows = []
-    for index, co_runner in enumerate(co_runners):
-        run = run_mixed_pair(target, co_runner, config, seed_offset=410 + index)
+    for co_runner, run in zip(co_runners, results[1:]):
         target_report = run.reports[0]
         loss = 0.0
         if solo_fps > 0:
@@ -107,14 +131,31 @@ def contentiousness(target: str = "D2", config: Optional[ExperimentConfig] = Non
     return rows
 
 
-def pair_energy_saving(pair: tuple[str, str],
-                       config: Optional[ExperimentConfig] = None) -> dict[str, float]:
-    """Energy comparison: the pair on one server vs. each app on its own server."""
+def contentiousness(target: str = "D2", config: Optional[ExperimentConfig] = None,
+                    co_runners=None,
+                    suite: Optional[ExperimentSuite] = None,
+                    ) -> list[ContentiousnessRow]:
+    """Figure 19: the target benchmark's sensitivity to each co-runner."""
     config = config or ExperimentConfig()
+    co_runners = list(co_runners or [b for b in config.benchmarks if b != target])
+    results = run_jobs(contentiousness_jobs(target, co_runners, config), suite)
+    return contentiousness_from_results(target, co_runners, results)
+
+
+# -- Section 5.3 energy argument ------------------------------------------------------
+def pair_energy_jobs(pair: tuple[str, str],
+                     config: ExperimentConfig) -> list[ExperimentJob]:
+    """The shared run and the two solo runs of the energy comparison."""
     left, right = pair
-    shared = run_mixed_pair(left, right, config, seed_offset=500)
-    solo_left = run_single(left, config, seed_offset=501)
-    solo_right = run_single(right, config, seed_offset=502)
+    return [
+        ExperimentJob(benchmarks=(left, right), config=config, seed_offset=500),
+        ExperimentJob(benchmarks=(left,), config=config, seed_offset=501),
+        ExperimentJob(benchmarks=(right,), config=config, seed_offset=502),
+    ]
+
+
+def pair_energy_from_results(results) -> dict[str, float]:
+    shared, solo_left, solo_right = results
     separate_power = solo_left.average_power_watts + solo_right.average_power_watts
     shared_power = shared.average_power_watts
     saving = 0.0
@@ -125,3 +166,11 @@ def pair_energy_saving(pair: tuple[str, str],
         "separate_power_watts": separate_power,
         "energy_saving_percent": saving,
     }
+
+
+def pair_energy_saving(pair: tuple[str, str],
+                       config: Optional[ExperimentConfig] = None,
+                       suite: Optional[ExperimentSuite] = None) -> dict[str, float]:
+    """Energy comparison: the pair on one server vs. each app on its own server."""
+    config = config or ExperimentConfig()
+    return pair_energy_from_results(run_jobs(pair_energy_jobs(pair, config), suite))

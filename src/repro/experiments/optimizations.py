@@ -15,11 +15,11 @@ from typing import Optional
 import numpy as np
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import make_session_config, run_single
-from repro.optimizations import apply_optimizations
-from repro.server.session import SessionConfig
+from repro.experiments.executor import ExperimentSuite, run_jobs
+from repro.experiments.jobs import ExperimentJob, JobVariant
 
-__all__ = ["OptimizationRow", "OptimizationSummary", "optimization_improvements",
+__all__ = ["OptimizationRow", "OptimizationSummary", "optimization_jobs",
+           "optimization_improvements", "optimization_rows_from_results",
            "optimization_ablation"]
 
 
@@ -79,12 +79,18 @@ class OptimizationSummary:
             if self.rows else 0.0
 
 
-def _run_pair(benchmark: str, config: ExperimentConfig, seed_offset: int,
-              optimized_config: SessionConfig) -> OptimizationRow:
-    baseline = run_single(benchmark, config, seed_offset=seed_offset,
-                          session_config=make_session_config(optimized=False))
-    optimized = run_single(benchmark, config, seed_offset=seed_offset,
-                           session_config=optimized_config)
+def _pair_jobs(benchmark: str, config: ExperimentConfig, seed_offset: int,
+               optimized: JobVariant) -> list[ExperimentJob]:
+    """The (baseline, optimized) job pair for one benchmark."""
+    return [
+        ExperimentJob(benchmarks=(benchmark,), config=config,
+                      seed_offset=seed_offset),
+        ExperimentJob(benchmarks=(benchmark,), config=config,
+                      seed_offset=seed_offset, variant=optimized),
+    ]
+
+
+def _row_from_pair(benchmark: str, baseline, optimized) -> OptimizationRow:
     baseline_report = baseline.reports[0]
     optimized_report = optimized.reports[0]
     return OptimizationRow(
@@ -98,22 +104,37 @@ def _run_pair(benchmark: str, config: ExperimentConfig, seed_offset: int,
     )
 
 
+def optimization_jobs(benchmarks, config: ExperimentConfig) -> list[ExperimentJob]:
+    """A (baseline, both-optimizations) job pair per benchmark."""
+    jobs = []
+    for index, benchmark in enumerate(benchmarks):
+        jobs.extend(_pair_jobs(benchmark, config, 700 + index,
+                               JobVariant.optimized()))
+    return jobs
+
+
+def optimization_rows_from_results(benchmarks, results) -> OptimizationSummary:
+    summary = OptimizationSummary()
+    for index, benchmark in enumerate(benchmarks):
+        summary.rows.append(_row_from_pair(
+            benchmark, results[2 * index], results[2 * index + 1]))
+    return summary
+
+
 def optimization_improvements(benchmarks=None,
                               config: Optional[ExperimentConfig] = None,
+                              suite: Optional[ExperimentSuite] = None,
                               ) -> OptimizationSummary:
     """Figure 22: both optimizations on, for each benchmark."""
     config = config or ExperimentConfig()
     benchmarks = list(benchmarks or config.benchmarks)
-    summary = OptimizationSummary()
-    for index, benchmark in enumerate(benchmarks):
-        optimized_config = apply_optimizations(SessionConfig())
-        summary.rows.append(_run_pair(benchmark, config, 700 + index,
-                                      optimized_config))
-    return summary
+    results = run_jobs(optimization_jobs(benchmarks, config), suite)
+    return optimization_rows_from_results(benchmarks, results)
 
 
 def optimization_ablation(benchmark: str = "STK",
                           config: Optional[ExperimentConfig] = None,
+                          suite: Optional[ExperimentSuite] = None,
                           ) -> dict[str, float]:
     """Ablation: each optimization alone vs. both together (server FPS gain %)."""
     config = config or ExperimentConfig()
@@ -122,9 +143,13 @@ def optimization_ablation(benchmark: str = "STK",
         "two_step_copy_only": ("two_step_copy",),
         "both": ("memoize_xgwa", "two_step_copy"),
     }
+    jobs = []
+    for keys in variants.values():
+        jobs.extend(_pair_jobs(benchmark, config, 750, JobVariant.optimized(keys)))
+    run_results = run_jobs(jobs, suite)       # the baseline deduplicates to one run
     results = {}
-    for label, keys in variants.items():
-        optimized_config = apply_optimizations(SessionConfig(), keys)
-        row = _run_pair(benchmark, config, 750, optimized_config)
+    for index, label in enumerate(variants):
+        row = _row_from_pair(benchmark, run_results[2 * index],
+                             run_results[2 * index + 1])
         results[label] = row.server_fps_improvement_percent
     return results

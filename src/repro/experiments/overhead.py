@@ -16,9 +16,15 @@ from typing import Optional
 import numpy as np
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import make_session_config, run_single
+from repro.experiments.executor import ExperimentSuite, run_jobs
+from repro.experiments.jobs import ExperimentJob, JobVariant
 
-__all__ = ["OverheadRow", "framework_overhead", "query_buffer_ablation"]
+__all__ = ["OverheadRow", "OverheadSummary", "overhead_jobs",
+           "framework_overhead", "framework_overhead_from_results",
+           "query_buffer_ablation"]
+
+#: The native (uninstrumented) TurboVNC configuration.
+_NATIVE = JobVariant(measurement_enabled=False)
 
 
 @dataclass
@@ -54,33 +60,54 @@ class OverheadSummary:
         return float(max(row.overhead_percent for row in self.rows))
 
 
+def overhead_jobs(benchmarks, config: ExperimentConfig,
+                  double_buffered: bool = True) -> list[ExperimentJob]:
+    """A (native, instrumented) job pair per benchmark, interleaved."""
+    jobs = []
+    for index, benchmark in enumerate(benchmarks):
+        jobs.append(ExperimentJob(benchmarks=(benchmark,), config=config,
+                                  seed_offset=index, variant=_NATIVE))
+        jobs.append(ExperimentJob(
+            benchmarks=(benchmark,), config=config, seed_offset=index,
+            variant=JobVariant(double_buffered_queries=double_buffered)))
+    return jobs
+
+
+def framework_overhead_from_results(benchmarks, results) -> OverheadSummary:
+    summary = OverheadSummary()
+    for index, benchmark in enumerate(benchmarks):
+        summary.rows.append(OverheadRow(
+            benchmark=benchmark,
+            native_fps=results[2 * index].reports[0].server_fps,
+            instrumented_fps=results[2 * index + 1].reports[0].server_fps))
+    return summary
+
+
 def framework_overhead(benchmarks=None, config: Optional[ExperimentConfig] = None,
-                       double_buffered: bool = True) -> OverheadSummary:
+                       double_buffered: bool = True,
+                       suite: Optional[ExperimentSuite] = None) -> OverheadSummary:
     """FPS overhead of enabling Pictor's measurement framework."""
     config = config or ExperimentConfig()
     benchmarks = list(benchmarks or config.benchmarks)
-    summary = OverheadSummary()
-    for index, benchmark in enumerate(benchmarks):
-        native = run_single(
-            benchmark, config, seed_offset=index,
-            measurement_enabled=False,
-            session_config=make_session_config(measurement_enabled=False))
-        instrumented = run_single(
-            benchmark, config, seed_offset=index,
-            measurement_enabled=True,
-            double_buffered_queries=double_buffered,
-            session_config=make_session_config(
-                measurement_enabled=True,
-                double_buffered_queries=double_buffered))
-        summary.rows.append(OverheadRow(
-            benchmark=benchmark,
-            native_fps=native.reports[0].server_fps,
-            instrumented_fps=instrumented.reports[0].server_fps))
-    return summary
+    results = run_jobs(overhead_jobs(benchmarks, config, double_buffered), suite)
+    return framework_overhead_from_results(benchmarks, results)
+
+
+def query_buffer_jobs(benchmark: str, config: ExperimentConfig,
+                      ) -> list[ExperimentJob]:
+    """Native plus double- and single-buffered instrumented runs."""
+    return [
+        ExperimentJob(benchmarks=(benchmark,), config=config, variant=_NATIVE),
+        ExperimentJob(benchmarks=(benchmark,), config=config,
+                      variant=JobVariant(double_buffered_queries=True)),
+        ExperimentJob(benchmarks=(benchmark,), config=config,
+                      variant=JobVariant(double_buffered_queries=False)),
+    ]
 
 
 def query_buffer_ablation(benchmark: str = "STK",
                           config: Optional[ExperimentConfig] = None,
+                          suite: Optional[ExperimentSuite] = None,
                           ) -> dict[str, float]:
     """Design-choice ablation: double- vs single-buffered GPU time queries.
 
@@ -89,19 +116,11 @@ def query_buffer_ablation(benchmark: str = "STK",
     noticeably less.
     """
     config = config or ExperimentConfig()
-    native = run_single(benchmark, config, seed_offset=0,
-                        measurement_enabled=False,
-                        session_config=make_session_config(measurement_enabled=False))
+    native, double, single = run_jobs(query_buffer_jobs(benchmark, config), suite)
     native_fps = native.reports[0].server_fps
 
     results = {}
-    for label, double in (("double_buffered", True), ("single_buffered", False)):
-        run = run_single(benchmark, config, seed_offset=0,
-                         measurement_enabled=True,
-                         double_buffered_queries=double,
-                         session_config=make_session_config(
-                             measurement_enabled=True,
-                             double_buffered_queries=double))
+    for label, run in (("double_buffered", double), ("single_buffered", single)):
         fps = run.reports[0].server_fps
         results[label] = max(0.0, (native_fps - fps) / native_fps * 100.0)
     results["native_fps"] = native_fps

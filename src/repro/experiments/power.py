@@ -12,9 +12,11 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import run_colocated
+from repro.experiments.executor import ExperimentSuite, run_jobs
+from repro.experiments.jobs import ExperimentJob
 
-__all__ = ["PowerPoint", "per_instance_power"]
+__all__ = ["PowerPoint", "power_jobs", "power_points_from_results",
+           "per_instance_power"]
 
 
 @dataclass
@@ -35,19 +37,29 @@ class PowerPoint:
                 / single.per_instance_power_watts) * 100.0
 
 
-def per_instance_power(benchmark: str, config: Optional[ExperimentConfig] = None,
-                       max_instances: Optional[int] = None) -> list[PowerPoint]:
-    """Figure 17 series for one benchmark."""
+def power_jobs(benchmark: str, config: Optional[ExperimentConfig] = None,
+               max_instances: Optional[int] = None) -> list[ExperimentJob]:
+    """The Figure-17 colocation runs, as declarative jobs."""
     config = config or ExperimentConfig()
     max_instances = max_instances or config.max_instances
-    points = []
-    for count in range(1, max_instances + 1):
-        result = run_colocated(benchmark, count, config, seed_offset=200 + count)
-        points.append(PowerPoint(
-            benchmark=benchmark,
-            instances=count,
-            total_power_watts=result.average_power_watts,
-            per_instance_power_watts=result.per_instance_power_watts,
-            energy_joules=result.energy_joules,
-        ))
-    return points
+    return [ExperimentJob(benchmarks=(benchmark,) * count, config=config,
+                          seed_offset=200 + count)
+            for count in range(1, max_instances + 1)]
+
+
+def power_points_from_results(benchmark: str, results) -> list[PowerPoint]:
+    return [PowerPoint(
+        benchmark=benchmark,
+        instances=len(result.reports),
+        total_power_watts=result.average_power_watts,
+        per_instance_power_watts=result.per_instance_power_watts,
+        energy_joules=result.energy_joules,
+    ) for result in results]
+
+
+def per_instance_power(benchmark: str, config: Optional[ExperimentConfig] = None,
+                       max_instances: Optional[int] = None,
+                       suite: Optional[ExperimentSuite] = None) -> list[PowerPoint]:
+    """Figure 17 series for one benchmark."""
+    jobs = power_jobs(benchmark, config, max_instances)
+    return power_points_from_results(benchmark, run_jobs(jobs, suite))

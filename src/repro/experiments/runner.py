@@ -1,4 +1,14 @@
-"""Shared testbed-construction helpers used by every experiment generator."""
+"""Shared testbed-construction helpers used by every experiment generator.
+
+The declarative path (no custom agent, no hand-built session config) is
+expressed as an :class:`~repro.experiments.jobs.ExperimentJob` and runs
+through :func:`~repro.experiments.jobs.execute_job` — the same routine
+the parallel executor ships to worker processes — so a figure generator
+calling :func:`run_single` and a suite replaying the equivalent job are
+guaranteed to agree bit-for-bit.  Runs that need a trained agent or a
+bespoke :class:`SessionConfig` (closures cannot cross process
+boundaries) fall back to building the host directly.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +16,7 @@ from typing import Callable, Optional
 
 from repro.core.pictor import PictorConfig
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.jobs import ExperimentJob, JobVariant, execute_job
 from repro.graphics.pipeline import PipelineConfig
 from repro.server.host import CloudHost, HostConfig, HostResult
 from repro.server.session import SessionConfig
@@ -50,6 +61,12 @@ def run_single(benchmark: str, config: ExperimentConfig,
                measurement_enabled: bool = True,
                double_buffered_queries: bool = True) -> HostResult:
     """Run one benchmark instance alone on the server."""
+    if agent_factory is None and session_config is None:
+        return execute_job(ExperimentJob(
+            benchmarks=(benchmark,), config=config, seed_offset=seed_offset,
+            variant=JobVariant(containerized=containerized,
+                               measurement_enabled=measurement_enabled,
+                               double_buffered_queries=double_buffered_queries)))
     host = build_host(config, seed_offset=seed_offset, containerized=containerized,
                       measurement_enabled=measurement_enabled,
                       double_buffered_queries=double_buffered_queries)
@@ -66,6 +83,11 @@ def run_colocated(benchmark: str, instances: int, config: ExperimentConfig,
     """Run ``instances`` copies of the same benchmark on one server."""
     if instances < 1:
         raise ValueError("instances must be at least 1")
+    if agent_factory is None and session_config is None:
+        return execute_job(ExperimentJob(
+            benchmarks=(benchmark,) * instances, config=config,
+            seed_offset=seed_offset,
+            variant=JobVariant(containerized=containerized)))
     host = build_host(config, seed_offset=seed_offset, containerized=containerized)
     for _ in range(instances):
         host.add_instance(benchmark, agent_factory=agent_factory,
@@ -77,7 +99,7 @@ def run_mixed_pair(benchmark_a: str, benchmark_b: str, config: ExperimentConfig,
                    seed_offset: int = 0,
                    containerized: bool = False) -> HostResult:
     """Run two different benchmarks together on one server (Section 5.3)."""
-    host = build_host(config, seed_offset=seed_offset, containerized=containerized)
-    host.add_instance(benchmark_a)
-    host.add_instance(benchmark_b)
-    return host.run(duration=config.duration_s, warmup=config.warmup_s)
+    return execute_job(ExperimentJob(
+        benchmarks=(benchmark_a, benchmark_b), config=config,
+        seed_offset=seed_offset,
+        variant=JobVariant(containerized=containerized)))

@@ -7,7 +7,9 @@
 
 One testbed run per (benchmark, instance-count) produces all four views,
 so the generator returns a combined record and the per-figure accessors
-slice it.
+slice it.  :func:`scaling_jobs` declares those runs as experiment jobs;
+:func:`scaling_points_from_results` folds the (possibly parallel or
+cached) results back into :class:`ScalingPoint` records.
 """
 
 from __future__ import annotations
@@ -17,10 +19,13 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.reporting import mean_breakdown
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import run_colocated
+from repro.experiments.executor import ExperimentSuite, run_jobs
+from repro.experiments.jobs import ExperimentJob
 
-__all__ = ["ScalingPoint", "scaling_sweep", "fps_scaling", "rtt_breakdown_scaling",
+__all__ = ["ScalingPoint", "scaling_jobs", "scaling_points_from_results",
+           "scaling_sweep", "fps_scaling", "rtt_breakdown_scaling",
            "server_breakdown_scaling", "application_breakdown_scaling"]
 
 
@@ -38,67 +43,79 @@ class ScalingPoint:
     application_breakdown_ms: dict[str, float] = field(default_factory=dict)
 
 
-def scaling_sweep(benchmark: str, config: Optional[ExperimentConfig] = None,
-                  max_instances: Optional[int] = None) -> list[ScalingPoint]:
-    """Run 1..max_instances copies of ``benchmark`` and aggregate per count."""
+def scaling_jobs(benchmark: str, config: Optional[ExperimentConfig] = None,
+                 max_instances: Optional[int] = None) -> list[ExperimentJob]:
+    """One colocation run per instance count, as declarative jobs."""
     config = config or ExperimentConfig()
     max_instances = max_instances or config.max_instances
+    return [ExperimentJob(benchmarks=(benchmark,) * count, config=config,
+                          seed_offset=count)
+            for count in range(1, max_instances + 1)]
+
+
+def scaling_points_from_results(benchmark: str, results) -> list[ScalingPoint]:
+    """Fold the job results of :func:`scaling_jobs` into scaling points."""
     points = []
-    for count in range(1, max_instances + 1):
-        result = run_colocated(benchmark, count, config, seed_offset=count)
+    for result in results:
         reports = result.reports
-        point = ScalingPoint(
+        points.append(ScalingPoint(
             benchmark=benchmark,
-            instances=count,
+            instances=len(reports),
             server_fps=float(np.mean([r.server_fps for r in reports])),
             client_fps=float(np.mean([r.client_fps for r in reports])),
             rtt_ms=float(np.mean([r.rtt.mean for r in reports])) * 1e3,
-            rtt_breakdown_ms=_mean_breakdown(
-                [r.rtt_breakdown for r in reports]),
-            server_breakdown_ms=_mean_breakdown(
-                [r.server_breakdown for r in reports]),
-            application_breakdown_ms=_mean_breakdown(
-                [r.application_breakdown for r in reports]),
-        )
-        points.append(point)
+            rtt_breakdown_ms=mean_breakdown(
+                [r.rtt_breakdown for r in reports], scale=1e3),
+            server_breakdown_ms=mean_breakdown(
+                [r.server_breakdown for r in reports], scale=1e3),
+            application_breakdown_ms=mean_breakdown(
+                [r.application_breakdown for r in reports], scale=1e3),
+        ))
     return points
 
 
-def _mean_breakdown(breakdowns: list[dict[str, float]]) -> dict[str, float]:
-    keys = {key for breakdown in breakdowns for key in breakdown}
-    return {key: float(np.mean([b.get(key, 0.0) for b in breakdowns])) * 1e3
-            for key in sorted(keys)}
+def scaling_sweep(benchmark: str, config: Optional[ExperimentConfig] = None,
+                  max_instances: Optional[int] = None,
+                  suite: Optional[ExperimentSuite] = None) -> list[ScalingPoint]:
+    """Run 1..max_instances copies of ``benchmark`` and aggregate per count."""
+    jobs = scaling_jobs(benchmark, config, max_instances)
+    return scaling_points_from_results(benchmark, run_jobs(jobs, suite))
 
 
 def fps_scaling(benchmark: str, config: Optional[ExperimentConfig] = None,
-                max_instances: Optional[int] = None) -> list[dict[str, float]]:
+                max_instances: Optional[int] = None,
+                suite: Optional[ExperimentSuite] = None) -> list[dict[str, float]]:
     """Figure 10 rows for one benchmark."""
     return [{"instances": p.instances, "server_fps": p.server_fps,
              "client_fps": p.client_fps}
-            for p in scaling_sweep(benchmark, config, max_instances)]
+            for p in scaling_sweep(benchmark, config, max_instances, suite)]
 
 
 def rtt_breakdown_scaling(benchmark: str, config: Optional[ExperimentConfig] = None,
-                          max_instances: Optional[int] = None) -> list[dict]:
+                          max_instances: Optional[int] = None,
+                          suite: Optional[ExperimentSuite] = None) -> list[dict]:
     """Figure 11 rows for one benchmark."""
     return [{"instances": p.instances, "rtt_ms": p.rtt_ms,
              **{f"{k}_ms": v for k, v in p.rtt_breakdown_ms.items()}}
-            for p in scaling_sweep(benchmark, config, max_instances)]
+            for p in scaling_sweep(benchmark, config, max_instances, suite)]
 
 
 def server_breakdown_scaling(benchmark: str,
                              config: Optional[ExperimentConfig] = None,
-                             max_instances: Optional[int] = None) -> list[dict]:
+                             max_instances: Optional[int] = None,
+                             suite: Optional[ExperimentSuite] = None) -> list[dict]:
     """Figure 12 rows for one benchmark."""
     return [{"instances": p.instances,
              **{f"{k}_ms": v for k, v in p.server_breakdown_ms.items()}}
-            for p in scaling_sweep(benchmark, config, max_instances)]
+            for p in scaling_sweep(benchmark, config, max_instances, suite)]
 
 
 def application_breakdown_scaling(benchmark: str,
                                   config: Optional[ExperimentConfig] = None,
-                                  max_instances: Optional[int] = None) -> list[dict]:
+                                  max_instances: Optional[int] = None,
+                                  suite: Optional[ExperimentSuite] = None,
+                                  ) -> list[dict]:
     """Figure 13 rows for one benchmark."""
     return [{"instances": p.instances,
              **{f"{k}_ms": v for k, v in p.application_breakdown_ms.items()}}
-            for p in scaling_sweep(benchmark, config, max_instances)]
+            for p in scaling_sweep(benchmark, config, max_instances, suite)]

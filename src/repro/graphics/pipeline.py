@@ -11,7 +11,7 @@ two Section-6 optimizations and the measurement-framework toggle).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Iterable
 
 import numpy as np
 

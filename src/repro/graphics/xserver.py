@@ -16,7 +16,7 @@ contention — this is what makes the inter-process-communication stages
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.graphics.frame import Frame

@@ -15,7 +15,7 @@ reproduce Figure 14, and exposes time-weighted utilization for Figure 8.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from repro.sim.engine import Environment, SimulationError

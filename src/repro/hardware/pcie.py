@@ -11,7 +11,7 @@ bandwidth.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.sim.engine import Environment, SimulationError

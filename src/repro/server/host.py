@@ -41,7 +41,14 @@ class HostConfig:
 
 @dataclass
 class HostResult:
-    """Everything a testbed run produced."""
+    """Everything a testbed run produced.
+
+    Instances must stay picklable: the experiment execution subsystem
+    (:mod:`repro.experiments.executor`) ships them back from worker
+    processes and stores them in the on-disk result cache.  Anything
+    attached to a report's ``extra`` channel therefore has to be plain
+    data as well.
+    """
 
     duration: float
     reports: list[PerformanceReport]
@@ -67,6 +74,23 @@ class HostResult:
         if not self.reports:
             return 0.0
         return sum(r.server_fps for r in self.reports) / len(self.reports)
+
+    def as_dict(self) -> dict:
+        """A plain-data summary of the run.
+
+        Used to compare results produced by different execution backends
+        (serial, worker process, cache replay) and to serialize runs for
+        external tooling; deliberately excludes the ``extra`` channel,
+        whose contents are backend-internal.
+        """
+        return {
+            "duration": self.duration,
+            "average_power_watts": self.average_power_watts,
+            "per_instance_power_watts": self.per_instance_power_watts,
+            "energy_joules": self.energy_joules,
+            "machine_summary": dict(self.machine_summary),
+            "reports": [report.as_dict() for report in self.reports],
+        }
 
 
 class CloudHost:

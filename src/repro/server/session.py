@@ -46,7 +46,7 @@ from repro.network.protocols import RfbProtocol
 from repro.server.container import Container
 from repro.server.vnc import VncServer, VncServerConfig
 from repro.sim.engine import Environment, Process
-from repro.sim.randomness import RandomStreams, StreamRandom
+from repro.sim.randomness import RandomStreams
 from repro.sim.resources import Store
 
 __all__ = ["RenderingSession", "SessionConfig"]

@@ -10,7 +10,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Optional
 
-from repro.sim.engine import Environment, Event, Process, SimulationError
+from repro.sim.engine import Environment, Event, SimulationError
 
 __all__ = [
     "Container",

@@ -1,18 +1,15 @@
 """Tests for the intelligent client and the prior-work baselines."""
 
-import numpy as np
 import pytest
 
 from repro.agents.baselines.chen import ChenMethodology
 from repro.agents.baselines.deskbench import DeskBenchClient
 from repro.agents.baselines.slowmotion import SlowMotionMethodology
-from repro.agents.human import HumanPlayer
 from repro.agents.intelligent_client import (
     InferenceTimingModel,
-    IntelligentClient,
     train_intelligent_client,
 )
-from repro.agents.recorder import RecordedSession, SessionRecorder
+from repro.agents.recorder import RecordedSession
 from repro.apps.registry import create_benchmark, get_profile
 from repro.core.tags import InputRecord
 from repro.core.tracker import InputTracker

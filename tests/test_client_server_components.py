@@ -9,7 +9,7 @@ from repro.client.input_devices import (
     Mouse,
     device_for_input_kind,
 )
-from repro.client.proxy import ClientProxy, ClientProxyConfig
+from repro.client.proxy import ClientProxy
 from repro.core.pictor import Pictor
 from repro.graphics.frame import Frame
 from repro.network.link import LinkSpec, NetworkLink

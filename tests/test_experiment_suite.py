@@ -1,0 +1,178 @@
+"""The experiment execution subsystem: jobs, executors, caching, figures.
+
+The hard requirement under test: a given job's result is bit-identical
+whether it runs serially, across worker processes, or out of the on-disk
+cache — and the declarative job path reproduces exactly what the legacy
+host-construction helpers do.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    ExperimentJob,
+    ExperimentSuite,
+    JobVariant,
+    execute_job,
+    run_single,
+)
+from repro.experiments.executor import ResultCache, run_jobs
+from repro.experiments.figures import FIGURES, run_figure
+from repro.experiments.runner import make_session_config
+from repro.experiments.scaling import scaling_jobs
+
+
+@pytest.fixture(scope="module")
+def config() -> ExperimentConfig:
+    return ExperimentConfig.smoke(seed=5)
+
+
+@pytest.fixture(scope="module")
+def jobs(config) -> list[ExperimentJob]:
+    return [
+        ExperimentJob(benchmarks=("RE",), config=config, seed_offset=1),
+        ExperimentJob(benchmarks=("RE", "ITP"), config=config, seed_offset=2),
+        ExperimentJob(benchmarks=("ITP",), config=config, seed_offset=3,
+                      variant=JobVariant(containerized=True)),
+    ]
+
+
+def _stats_dicts(results):
+    return [[r.rtt.as_dict() for r in result.reports] for result in results]
+
+
+def test_job_validation(config):
+    with pytest.raises(ValueError):
+        ExperimentJob(benchmarks=(), config=config)
+    with pytest.raises(ValueError):
+        ExperimentJob(benchmarks=("RE",), config=config, kind="nope")
+    with pytest.raises(ValueError):
+        ExperimentJob(benchmarks=("RE", "ITP"), config=config, kind="accuracy")
+    with pytest.raises(ValueError):
+        JobVariant(machine="warehouse")
+    with pytest.raises(KeyError):
+        JobVariant.optimized(("warp_drive",))
+    with pytest.raises(ValueError):
+        ExperimentSuite(workers=0)
+
+
+def test_job_keys_are_stable_and_content_sensitive(config):
+    job = ExperimentJob(benchmarks=("RE",), config=config, seed_offset=1)
+    assert job.key() == ExperimentJob(benchmarks=("RE",), config=config,
+                                      seed_offset=1).key()
+    # Any field change — benchmark, seed, variant knob, config knob —
+    # produces a different key, which is what invalidates the cache.
+    assert job.key() != dataclasses.replace(job, benchmarks=("ITP",)).key()
+    assert job.key() != dataclasses.replace(job, seed_offset=2).key()
+    assert job.key() != dataclasses.replace(
+        job, variant=JobVariant(containerized=True)).key()
+    assert job.key() != dataclasses.replace(
+        job, config=dataclasses.replace(config, duration_s=2.5)).key()
+    assert job.key() != dataclasses.replace(
+        job, config=dataclasses.replace(config, seed=6)).key()
+    assert "RE" in job.describe()
+
+
+def test_serial_parallel_and_cache_agree(tmp_path, config, jobs):
+    serial = ExperimentSuite(workers=1).run(jobs)
+
+    with ExperimentSuite(workers=2) as suite:
+        parallel = suite.run(jobs)
+
+    warm = ExperimentSuite(workers=1, cache_dir=tmp_path)
+    warm.run(jobs)
+    cold = ExperimentSuite(workers=1, cache_dir=tmp_path)
+    cached = cold.run(jobs)
+    assert cold.stats.cache_hits == len(jobs)
+    assert cold.stats.executed == 0
+
+    # Identical LatencyStats (and full report dicts) across all backends.
+    assert _stats_dicts(serial) == _stats_dicts(parallel) == _stats_dicts(cached)
+    assert [r.as_dict() for r in serial] == [r.as_dict() for r in parallel]
+    assert [r.as_dict() for r in serial] == [r.as_dict() for r in cached]
+
+
+def test_cache_invalidates_when_any_config_field_changes(tmp_path, config):
+    job = ExperimentJob(benchmarks=("RE",), config=config, seed_offset=1)
+    suite = ExperimentSuite(workers=1, cache_dir=tmp_path)
+    suite.run([job])
+    assert suite.stats.executed == 1
+
+    changed = ExperimentJob(
+        benchmarks=("RE",),
+        config=dataclasses.replace(config, duration_s=config.duration_s + 0.5),
+        seed_offset=1)
+    again = ExperimentSuite(workers=1, cache_dir=tmp_path)
+    again.run([job, changed])
+    assert again.stats.cache_hits == 1      # original job replays
+    assert again.stats.executed == 1        # changed config re-runs
+    assert len(ResultCache(tmp_path)) == 2
+
+
+def test_suite_memoizes_results_across_run_calls(config):
+    """Figures sharing runs execute them once per suite, even cache-less."""
+    job = ExperimentJob(benchmarks=("RE",), config=config, seed_offset=1)
+    suite = ExperimentSuite(workers=1)
+    [first] = suite.run([job])
+    [second] = suite.run([dataclasses.replace(job)])
+    assert suite.stats.executed == 1
+    assert suite.stats.cache_hits == 1
+    assert first.as_dict() == second.as_dict()
+
+
+def test_duplicate_jobs_execute_once(config):
+    job = ExperimentJob(benchmarks=("RE",), config=config, seed_offset=1)
+    suite = ExperimentSuite(workers=1)
+    first, second = suite.run([job, dataclasses.replace(job)])
+    assert suite.stats.executed == 1
+    assert suite.stats.deduplicated == 1
+    assert first.as_dict() == second.as_dict()
+
+
+def test_job_path_matches_legacy_host_construction(config):
+    """The declarative path reproduces the hand-built host bit for bit."""
+    job_result = run_single("RE", config, seed_offset=4)
+    legacy = run_single("RE", config, seed_offset=4,
+                        session_config=make_session_config())
+    assert job_result.as_dict() == legacy.as_dict()
+
+    optimized_job = execute_job(ExperimentJob(
+        benchmarks=("RE",), config=config, seed_offset=4,
+        variant=JobVariant.optimized()))
+    optimized_legacy = run_single("RE", config, seed_offset=4,
+                                  session_config=make_session_config(optimized=True))
+    assert optimized_job.as_dict() == optimized_legacy.as_dict()
+
+
+def test_run_jobs_uses_default_suite(config, monkeypatch, tmp_path):
+    monkeypatch.setenv("PICTOR_CACHE_DIR", str(tmp_path))
+    jobs = scaling_jobs("RE", config, max_instances=1)
+    first = run_jobs(jobs)
+    second = run_jobs(jobs)
+    assert _stats_dicts(first) == _stats_dicts(second)
+    assert len(ResultCache(tmp_path)) == 1
+
+
+def test_figure_registry_covers_the_benchmarks(config):
+    expected = {"fig06", "fig07", "sec4", "fig08", "fig09", "fig10", "fig11",
+                "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+                "fig19", "fig20", "fig22", "ablation", "table4"}
+    assert expected == set(FIGURES)
+    with pytest.raises(KeyError):
+        run_figure("fig99", config)
+
+
+def test_run_figure_end_to_end(config):
+    narrow = dataclasses.replace(config.with_benchmarks(["RE"]),
+                                 max_instances=2)
+    rows = run_figure("fig10", narrow)
+    assert [row["instances"] for row in rows] == [1, 2]
+    assert all(row["benchmark"] == "RE" for row in rows)
+    assert rows[0]["client_fps"] > rows[-1]["client_fps"] * 0.8
+    # table4 runs no jobs and still renders.
+    table = run_figure("table4", narrow)
+    assert any(row["feature"] == "gpu_perf_measurement" for row in table)

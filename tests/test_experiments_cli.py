@@ -1,0 +1,46 @@
+"""The ``python -m repro.experiments`` command-line interface."""
+
+from __future__ import annotations
+
+from repro.experiments.__main__ import build_parser, main, make_config
+
+
+def test_list_figures(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig10" in out and "table4" in out
+
+
+def test_rejects_unknown_figure_and_empty_invocation(capsys):
+    assert main(["--figure", "fig99"]) == 2
+    assert "unknown figures" in capsys.readouterr().err
+    assert main([]) == 2
+    assert "nothing to do" in capsys.readouterr().err
+
+
+def test_make_config_profiles_and_overrides():
+    parser = build_parser()
+    smoke = make_config(parser.parse_args(
+        ["--profile", "smoke", "--seed", "3", "--benchmarks", "RE,ITP",
+         "--max-instances", "2", "--duration", "2.5"]))
+    assert smoke.seed == 3
+    assert smoke.benchmarks == ("RE", "ITP")
+    assert smoke.max_instances == 2
+    assert smoke.duration_s == 2.5
+    paper = make_config(parser.parse_args(["--profile", "paper"]))
+    assert paper.duration_s > smoke.duration_s
+
+
+def test_runs_a_figure_and_reports_stats(capsys, tmp_path):
+    args = ["--figure", "fig15", "--profile", "smoke", "--benchmarks", "RE",
+            "--max-instances", "1", "--cache-dir", str(tmp_path)]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert "l3_miss_rate" in first
+    assert "1 jobs submitted, 1 executed" in first
+
+    # Re-running replays from cache, printing the identical table.
+    assert main(args) == 0
+    second = capsys.readouterr().out
+    assert "1 cache hits" in second
+    assert first.splitlines()[:-1] == second.splitlines()[:-1]

@@ -7,7 +7,7 @@ from repro.graphics.framebuffer import Framebuffer
 from repro.graphics.interposer import GraphicsInterposer, InterposerConfig
 from repro.graphics.opengl import GlContext
 from repro.graphics.xserver import XConfig, XDisplay, XEvent
-from repro.hardware.cpu import Cpu, CpuSpec, StageCpuProfile
+from repro.hardware.cpu import Cpu, CpuSpec
 from repro.hardware.gpu import Gpu, GpuWorkloadProfile
 from repro.hardware.pcie import PcieBus
 from repro.sim.randomness import StreamRandom

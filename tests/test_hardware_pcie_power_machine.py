@@ -4,7 +4,7 @@ import pytest
 
 from repro.hardware.machine import ClientMachine, MachineSpec, ServerMachine
 from repro.hardware.pcie import PcieBus, PcieSpec
-from repro.hardware.power import PowerMeter, PowerModel, PowerSpec
+from repro.hardware.power import PowerModel, PowerSpec
 from repro.sim.engine import SimulationError
 
 

@@ -1,6 +1,5 @@
 """Property-based tests (hypothesis) for core data structures and invariants."""
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

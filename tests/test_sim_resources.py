@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.engine import Environment, SimulationError
+from repro.sim.engine import SimulationError
 from repro.sim.resources import Container, PriorityResource, Resource, Store
 
 
