@@ -16,9 +16,8 @@ from __future__ import annotations
 
 from repro.core.reporting import format_table
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import make_session_config, run_single
-from repro.optimizations import OPTIMIZATIONS, apply_optimizations
-from repro.server.session import SessionConfig
+from repro.optimizations import OPTIMIZATIONS
+from repro.scenarios import Scenario, session_variant
 
 BENCHMARK = "STK"
 
@@ -32,18 +31,16 @@ def main() -> None:
     print()
 
     variants = {
-        "baseline": make_session_config(optimized=False),
-        "memoized XGetWindowAttributes": apply_optimizations(
-            SessionConfig(), ["memoize_xgwa"]),
-        "two-step frame copy": apply_optimizations(
-            SessionConfig(), ["two_step_copy"]),
-        "both optimizations": apply_optimizations(SessionConfig()),
+        "baseline": session_variant("default"),
+        "memoized XGetWindowAttributes": session_variant("memoize_xgwa"),
+        "two-step frame copy": session_variant("two_step_copy"),
+        "both optimizations": session_variant("optimized"),
     }
 
     rows = []
     baseline_report = None
-    for label, session_config in variants.items():
-        result = run_single(BENCHMARK, config, session_config=session_config)
+    for label, variant in variants.items():
+        result = Scenario.single(BENCHMARK, config, variant=variant).run()
         report = result.reports[0]
         if baseline_report is None:
             baseline_report = report

@@ -20,7 +20,8 @@ from repro.core.measurements import percentage_error
 from repro.core.reporting import format_table
 from repro.agents.intelligent_client import train_intelligent_client
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import run_single
+from repro.experiments.runner import run_custom
+from repro.scenarios import Scenario
 from repro.sim.randomness import StreamRandom
 
 BENCHMARK = "RE"
@@ -46,7 +47,7 @@ def main() -> None:
     print()
 
     print("Running the human-driven testbed ...")
-    human_run = run_single(BENCHMARK, config, seed_offset=0)
+    human_run = Scenario.single(BENCHMARK, config, seed_offset=0).run()
     print("Running the intelligent-client-driven testbed ...")
 
     def use_trained_client(new_app):
@@ -54,7 +55,7 @@ def main() -> None:
         client.policy.reset_state()
         return client
 
-    ic_run = run_single(BENCHMARK, config, seed_offset=1,
+    ic_run = run_custom(BENCHMARK, config, seed_offset=1,
                         agent_factory=use_trained_client)
 
     human = human_run.reports[0]

@@ -22,11 +22,13 @@ run in a quick CI-friendly mode or a longer, lower-variance mode.
 | Table 4 (feature comparison)              | :func:`repro.experiments.feature_matrix.feature_matrix` |
 
 Execution goes through the suite subsystem: every generator expresses its
-testbed runs as declarative :class:`~repro.experiments.jobs.ExperimentJob`
-lists that an :class:`~repro.experiments.executor.ExperimentSuite` runs
-serially, across worker processes, or out of a content-addressed result
-cache — always with bit-identical results.  ``python -m repro.experiments``
-exposes the whole registry on the command line (see
+testbed runs as declarative :class:`~repro.scenarios.Scenario` values
+wrapped in :class:`~repro.experiments.jobs.ExperimentJob` lists that an
+:class:`~repro.experiments.executor.ExperimentSuite` runs serially,
+across worker processes, or out of a content-addressed result cache —
+always with bit-identical results.  ``python -m repro.experiments``
+exposes the whole registry (and a ``scenario`` subcommand for running
+ad-hoc scenario specs) on the command line (see
 :mod:`repro.experiments.figures`).
 """
 
@@ -40,20 +42,31 @@ from repro.experiments.executor import (
 from repro.experiments.jobs import ExperimentJob, JobVariant, execute_job
 from repro.experiments.runner import (
     run_colocated,
+    run_custom,
     run_mixed_pair,
     run_single,
 )
+from repro.scenarios.mixes import n_way_mixes
+from repro.scenarios.scenario import Placement, Scenario, SeedPolicy
+from repro.scenarios.variants import SessionVariant, session_variant
 
 __all__ = [
     "ExperimentConfig",
     "ExperimentJob",
     "ExperimentSuite",
     "JobVariant",
+    "Placement",
     "ResultCache",
+    "Scenario",
+    "SeedPolicy",
+    "SessionVariant",
     "default_suite",
     "execute_job",
+    "n_way_mixes",
     "run_colocated",
+    "run_custom",
     "run_jobs",
     "run_mixed_pair",
     "run_single",
+    "session_variant",
 ]

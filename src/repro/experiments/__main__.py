@@ -8,6 +8,15 @@ count and an optional on-disk result cache::
     PYTHONPATH=src python -m repro.experiments --all --workers 8 \
         --cache-dir .pictor-cache --profile quick
 
+Or run ad-hoc scenarios — any placement mix, machine, session variant and
+network — straight from a JSON spec file, an inline JSON string, or an
+``A+B+C`` mix shorthand::
+
+    PYTHONPATH=src python -m repro.experiments scenario RE+ITP+D2 --profile smoke
+    PYTHONPATH=src python -m repro.experiments scenario examples/scenarios/mix3.json
+    PYTHONPATH=src python -m repro.experiments scenario \
+        '{"placements": ["RE", "ITP", "D2"], "variant": "optimized"}'
+
 Results are deterministic: ``--workers 1`` and ``--workers N`` print
 bit-identical tables, and a second run against the same ``--cache-dir``
 replays without executing anything.
@@ -16,15 +25,19 @@ replays without executing anything.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from dataclasses import replace
+from pathlib import Path
 from typing import Optional
 
 from repro.core.reporting import format_rows
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.executor import ExperimentSuite
+from repro.experiments.executor import ExperimentSuite, current_git_rev
 from repro.experiments.figures import FIGURES, figure_names, run_figure
+from repro.experiments.jobs import CACHE_SCHEMA_VERSION, ExperimentJob
+from repro.scenarios.scenario import Scenario
 
 PROFILES = ("quick", "smoke", "standard", "paper")
 
@@ -47,6 +60,37 @@ def make_config(args) -> ExperimentConfig:
     return config
 
 
+def _add_execution_options(parser: argparse.ArgumentParser,
+                           suppress_defaults: bool = False) -> None:
+    # On a subparser the defaults are SUPPRESSed: argparse copies subparser
+    # defaults over values the main parser already set, which would
+    # silently discard flags given before the subcommand name.
+    def default(value):
+        return argparse.SUPPRESS if suppress_defaults else value
+
+    parser.add_argument("--workers", type=int, default=default(1), metavar="N",
+                        help="worker processes (1 = serial; default 1)")
+    parser.add_argument("--cache-dir", default=default(None), metavar="DIR",
+                        help="content-addressed result cache directory")
+
+
+def _add_config_options(parser: argparse.ArgumentParser,
+                        suppress_defaults: bool = False) -> None:
+    def default(value):
+        return argparse.SUPPRESS if suppress_defaults else value
+
+    parser.add_argument("--profile", choices=PROFILES, default=default("quick"),
+                        help="measurement-interval preset (default: quick)")
+    parser.add_argument("--seed", type=int, default=default(0))
+    parser.add_argument("--benchmarks", default=default(None), metavar="A,B,...",
+                        help="comma-separated benchmark short names")
+    parser.add_argument("--max-instances", type=int, default=default(None),
+                        metavar="N", help="colocation sweep upper bound")
+    parser.add_argument("--duration", type=float, default=default(None),
+                        metavar="S",
+                        help="override the measurement interval (seconds)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -59,24 +103,90 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run every figure in the registry")
     parser.add_argument("--list", action="store_true", dest="list_figures",
                         help="list the available figures and exit")
-    parser.add_argument("--workers", type=int, default=1, metavar="N",
-                        help="worker processes (1 = serial; default 1)")
-    parser.add_argument("--cache-dir", default=None, metavar="DIR",
-                        help="content-addressed result cache directory")
-    parser.add_argument("--profile", choices=PROFILES, default="quick",
-                        help="measurement-interval preset (default: quick)")
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--benchmarks", default=None, metavar="A,B,...",
-                        help="comma-separated benchmark short names")
-    parser.add_argument("--max-instances", type=int, default=None, metavar="N",
-                        help="colocation sweep upper bound")
-    parser.add_argument("--duration", type=float, default=None, metavar="S",
-                        help="override the measurement interval (seconds)")
+    _add_execution_options(parser)
+    _add_config_options(parser)
+
+    subcommands = parser.add_subparsers(dest="command", metavar="subcommand")
+    scenario = subcommands.add_parser(
+        "scenario",
+        help="run declarative scenarios from JSON specs or A+B+C shorthands",
+        description="Run one or more scenarios given as JSON spec files, "
+                    "inline JSON (an object or a list of objects), or "
+                    "A+B+C benchmark-mix shorthands.")
+    scenario.add_argument("spec", nargs="+",
+                          help="spec file path, inline JSON, or A+B+C mix")
+    _add_execution_options(scenario, suppress_defaults=True)
+    _add_config_options(scenario, suppress_defaults=True)
     return parser
+
+
+def load_scenarios(spec: str, config: ExperimentConfig) -> list[Scenario]:
+    """Interpret one CLI scenario spec (file / inline JSON / mix shorthand).
+
+    A spec without its own ``config`` section inherits ``config`` (the
+    CLI profile), so its content hash reflects what actually runs.
+    """
+    stripped = spec.strip()
+    if stripped.startswith(("{", "[")):
+        data = json.loads(stripped)
+    elif Path(spec).exists():
+        data = json.loads(Path(spec).read_text())
+    elif "+" in spec:
+        return [Scenario.mixed(spec.split("+"), config=config)]
+    else:
+        raise ValueError(
+            f"cannot interpret scenario spec {spec!r}: not an existing file, "
+            f"inline JSON, or an A+B+C benchmark mix")
+    if isinstance(data, dict):
+        data = [data]
+    return [Scenario.from_dict(entry, config=config) for entry in data]
+
+
+def _run_scenarios(args) -> int:
+    try:
+        config = make_config(args)
+        scenarios = []
+        for spec in args.spec:
+            scenarios.extend(load_scenarios(spec, config))
+        suite = ExperimentSuite(workers=args.workers, cache_dir=args.cache_dir)
+    except (ValueError, KeyError, TypeError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    started = time.perf_counter()
+    with suite:
+        results = suite.run([ExperimentJob(scenario) for scenario in scenarios])
+        stats = suite.stats
+    elapsed = time.perf_counter() - started
+
+    for scenario, result in zip(scenarios, results):
+        rows = [{"instance": index, "benchmark": report.benchmark,
+                 "server_fps": report.server_fps,
+                 "client_fps": report.client_fps,
+                 "rtt_ms": report.rtt.mean * 1e3}
+                for index, report in enumerate(result.reports)]
+        print(format_rows(
+            rows, title=f"scenario {scenario.describe()} "
+                        f"[{scenario.short_hash()}]"))
+        print(f"total power: {result.average_power_watts:.2f} W, "
+              f"energy: {result.energy_joules:.1f} J")
+        print()
+    print(f"provenance: schema v{CACHE_SCHEMA_VERSION}, "
+          f"git {current_git_rev()[:12]}")
+    # Timing is nondeterministic, so it goes to stderr: stdout stays
+    # bit-identical across serial / parallel / cache-replay runs.
+    print(f"{len(scenarios)} scenario(s) in {elapsed:.1f}s — "
+          f"{stats.submitted} jobs submitted, {stats.executed} executed, "
+          f"{stats.deduplicated} deduplicated, {stats.cache_hits} cache hits "
+          f"({args.workers} worker(s))", file=sys.stderr)
+    return 0
 
 
 def main(argv: Optional[list[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+
+    if getattr(args, "command", None) == "scenario":
+        return _run_scenarios(args)
 
     if args.list_figures:
         rows = [{"figure": name, "title": spec.title}
@@ -88,8 +198,8 @@ def main(argv: Optional[list[str]] = None) -> int:
     if args.all:
         names = figure_names()
     if not names:
-        print("nothing to do: pass --figure NAME (repeatable), --all or --list",
-              file=sys.stderr)
+        print("nothing to do: pass --figure NAME (repeatable), --all, "
+              "--list or the scenario subcommand", file=sys.stderr)
         return 2
     unknown = [name for name in names if name not in FIGURES]
     if unknown:

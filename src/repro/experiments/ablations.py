@@ -21,7 +21,8 @@ from typing import Optional
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.executor import ExperimentSuite, run_jobs
-from repro.experiments.jobs import ExperimentJob, JobVariant
+from repro.experiments.jobs import ExperimentJob
+from repro.scenarios.scenario import Scenario
 
 __all__ = ["contention_model_ablation", "contention_jobs",
            "contention_from_results"]
@@ -30,15 +31,15 @@ __all__ = ["contention_model_ablation", "contention_jobs",
 def contention_jobs(benchmark: str, instances: int,
                     config: ExperimentConfig) -> list[ExperimentJob]:
     """Single and loaded runs on the realistic and contention-free machines."""
-    flat = JobVariant(machine="no_contention")
     return [
-        ExperimentJob(benchmarks=(benchmark,), config=config, seed_offset=800),
-        ExperimentJob(benchmarks=(benchmark,) * instances, config=config,
-                      seed_offset=801),
-        ExperimentJob(benchmarks=(benchmark,), config=config, seed_offset=802,
-                      variant=flat),
-        ExperimentJob(benchmarks=(benchmark,) * instances, config=config,
-                      seed_offset=803, variant=flat),
+        ExperimentJob(Scenario.single(benchmark, config, seed_offset=800)),
+        ExperimentJob(Scenario.colocated(benchmark, instances, config,
+                                         seed_offset=801)),
+        ExperimentJob(Scenario.single(benchmark, config, seed_offset=802,
+                                      machine="no_contention")),
+        ExperimentJob(Scenario.colocated(benchmark, instances, config,
+                                         seed_offset=803,
+                                         machine="no_contention")),
     ]
 
 

@@ -30,7 +30,9 @@ from repro.core.measurements import LatencyStats, percentage_error
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.executor import ExperimentSuite, run_jobs
 from repro.experiments.jobs import ExperimentJob
-from repro.experiments.runner import make_session_config, run_single
+from repro.experiments.runner import run_custom
+from repro.scenarios.scenario import Scenario
+from repro.scenarios.variants import SessionVariant
 from repro.sim.randomness import StreamRandom
 
 __all__ = ["AccuracyRow", "accuracy_jobs", "inference_jobs",
@@ -83,13 +85,13 @@ def methodology_accuracy(benchmark: str, config: Optional[ExperimentConfig] = No
         client, recording = prepare_intelligent_client(benchmark, config)
 
     # --- H: human ground truth -------------------------------------------------
-    human_result = run_single(benchmark, config, seed_offset=0)
+    human_result = Scenario.single(benchmark, config, seed_offset=0).run()
     human_report = human_result.reports[0]
     row.rtt_stats["H"] = human_report.rtt
     row.mean_rtt_ms["H"] = human_report.rtt.mean * 1e3
 
     # --- IC: Pictor's intelligent client --------------------------------------------
-    ic_result = run_single(benchmark, config, seed_offset=1,
+    ic_result = run_custom(benchmark, config, seed_offset=1,
                            agent_factory=lambda app: _rebind(client, app))
     row.rtt_stats["IC"] = ic_result.reports[0].rtt
     row.mean_rtt_ms["IC"] = ic_result.reports[0].rtt.mean * 1e3
@@ -97,7 +99,7 @@ def methodology_accuracy(benchmark: str, config: Optional[ExperimentConfig] = No
     # --- DB: DeskBench record/replay --------------------------------------------------
     threshold = DeskBenchClient.sweep_thresholds(
         create_benchmark(benchmark, rng=StreamRandom(config.seed + 31)), recording)
-    db_result = run_single(
+    db_result = run_custom(
         benchmark, config, seed_offset=2,
         agent_factory=lambda app: DeskBenchClient(
             app, recording, similarity_threshold=threshold,
@@ -106,7 +108,7 @@ def methodology_accuracy(benchmark: str, config: Optional[ExperimentConfig] = No
     row.mean_rtt_ms["DB"] = db_result.reports[0].rtt.mean * 1e3
 
     # --- CH: Chen et al. stage-sum estimation over a human-driven run -------------------
-    chen_result = run_single(benchmark, config, seed_offset=3)
+    chen_result = Scenario.single(benchmark, config, seed_offset=3).run()
     chen = ChenMethodology(get_profile(benchmark))
     chen_rtts = chen.estimate_rtts(_tracker_of(chen_result))
     row.rtt_stats["CH"] = LatencyStats.from_samples(chen_rtts)
@@ -114,8 +116,8 @@ def methodology_accuracy(benchmark: str, config: Optional[ExperimentConfig] = No
 
     # --- SM: Slow-Motion driven by the intelligent client ----------------------------------
     slow = SlowMotionMethodology()
-    sm_config = slow.session_config(make_session_config())
-    sm_result = run_single(benchmark, config, seed_offset=4,
+    sm_config = slow.session_config(SessionVariant().session_config())
+    sm_result = run_custom(benchmark, config, seed_offset=4,
                            agent_factory=lambda app: _rebind(client, app),
                            session_config=sm_config)
     row.rtt_stats["SM"] = sm_result.reports[0].rtt
@@ -135,8 +137,8 @@ def accuracy_jobs(benchmarks, config: ExperimentConfig) -> list[ExperimentJob]:
     benchmark harness) and runs all five methodologies.  The rows are
     independent, so the suite parallelizes across benchmarks.
     """
-    return [ExperimentJob(kind="accuracy", benchmarks=(benchmark,),
-                          config=config, seed_offset=index)
+    return [ExperimentJob(Scenario.single(benchmark, config, seed_offset=index),
+                          kind="accuracy")
             for index, benchmark in enumerate(benchmarks)]
 
 
@@ -196,8 +198,8 @@ def inference_time_row(benchmark: str, config: ExperimentConfig,
 
 def inference_jobs(benchmarks, config: ExperimentConfig) -> list[ExperimentJob]:
     """One Figure-7 inference measurement per benchmark, as jobs."""
-    return [ExperimentJob(kind="inference", benchmarks=(benchmark,),
-                          config=config, seed_offset=index)
+    return [ExperimentJob(Scenario.single(benchmark, config, seed_offset=index),
+                          kind="inference")
             for index, benchmark in enumerate(benchmarks)]
 
 

@@ -15,6 +15,7 @@ from typing import Optional
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.executor import ExperimentSuite, run_jobs
 from repro.experiments.jobs import ExperimentJob
+from repro.scenarios.scenario import Scenario
 
 __all__ = ["ArchitecturePoint", "architecture_jobs",
            "architecture_points_from_results", "architecture_sweep",
@@ -38,8 +39,8 @@ def architecture_jobs(benchmark: str, config: Optional[ExperimentConfig] = None,
     """The 1..N colocation runs of the sweep, as declarative jobs."""
     config = config or ExperimentConfig()
     max_instances = max_instances or config.max_instances
-    return [ExperimentJob(benchmarks=(benchmark,) * count, config=config,
-                          seed_offset=100 + count)
+    return [ExperimentJob(Scenario.colocated(benchmark, count, config,
+                                             seed_offset=100 + count))
             for count in range(1, max_instances + 1)]
 
 

@@ -17,6 +17,7 @@ from typing import Optional
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.executor import ExperimentSuite, run_jobs
 from repro.experiments.jobs import ExperimentJob
+from repro.scenarios.scenario import Scenario
 
 __all__ = ["BandwidthRow", "UtilizationRow", "characterization_jobs",
            "bandwidth", "bandwidth_from_results",
@@ -48,10 +49,9 @@ class BandwidthRow:
 
 def characterization_jobs(benchmarks, config: Optional[ExperimentConfig] = None,
                           ) -> list[ExperimentJob]:
-    """One single-instance run per benchmark (shared by Figures 8 and 9)."""
+    """One single-instance scenario per benchmark (shared by Figures 8 and 9)."""
     config = config or ExperimentConfig()
-    return [ExperimentJob(benchmarks=(benchmark,), config=config,
-                          seed_offset=index)
+    return [ExperimentJob(Scenario.single(benchmark, config, seed_offset=index))
             for index, benchmark in enumerate(benchmarks)]
 
 

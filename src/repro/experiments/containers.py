@@ -17,7 +17,8 @@ import numpy as np
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.executor import ExperimentSuite, run_jobs
-from repro.experiments.jobs import ExperimentJob, JobVariant
+from repro.experiments.jobs import ExperimentJob
+from repro.scenarios.scenario import Scenario
 
 __all__ = ["ContainerOverheadRow", "ContainerOverheadSummary",
            "container_jobs", "container_overhead",
@@ -81,14 +82,13 @@ class ContainerOverheadSummary:
 
 
 def container_jobs(benchmarks, config: ExperimentConfig) -> list[ExperimentJob]:
-    """A (bare, containerized) job pair per benchmark, interleaved."""
+    """A (bare, containerized) scenario pair per benchmark, interleaved."""
     jobs = []
     for index, benchmark in enumerate(benchmarks):
-        jobs.append(ExperimentJob(benchmarks=(benchmark,), config=config,
-                                  seed_offset=600 + index))
-        jobs.append(ExperimentJob(benchmarks=(benchmark,), config=config,
-                                  seed_offset=600 + index,
-                                  variant=JobVariant(containerized=True)))
+        jobs.append(ExperimentJob(Scenario.single(
+            benchmark, config, seed_offset=600 + index)))
+        jobs.append(ExperimentJob(Scenario.single(
+            benchmark, config, seed_offset=600 + index, containerized=True)))
     return jobs
 
 

@@ -19,18 +19,41 @@ fast it arrives.
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
+import subprocess
 import tempfile
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from functools import lru_cache
 from pathlib import Path
 from typing import Optional, Sequence
 
-from repro.experiments.jobs import ExperimentJob, execute_job
+from repro.experiments.jobs import CACHE_SCHEMA_VERSION, ExperimentJob, execute_job
 
-__all__ = ["ExperimentSuite", "ResultCache", "SuiteStats", "default_suite",
-           "run_jobs"]
+__all__ = ["ExperimentSuite", "ResultCache", "SuiteStats", "current_git_rev",
+           "default_suite", "run_jobs"]
+
+logger = logging.getLogger(__name__)
+
+
+@lru_cache(maxsize=1)
+def current_git_rev() -> str:
+    """The repository's HEAD revision, or "unknown" outside a checkout.
+
+    Stamped into cache entries (provenance only — never part of the cache
+    key, or replays across commits would always miss).
+    """
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            cwd=Path(__file__).resolve().parent, timeout=10)
+        if proc.returncode == 0:
+            return proc.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "unknown"
 
 
 @dataclass
@@ -52,12 +75,17 @@ class SuiteStats:
 
 
 class ResultCache:
-    """Content-addressed on-disk store of pickled job results.
+    """Content-addressed on-disk store of provenance-stamped job results.
 
-    Keys are the jobs' SHA-256 content hashes, so any change to the
-    benchmark list, any :class:`ExperimentConfig` field, any
-    :class:`JobVariant` knob or the seed produces a different key and the
-    stale entry is simply never consulted.
+    Keys are the jobs' SHA-256 content hashes (over the scenario, kind
+    and duration override), so any change to the placement list, any
+    :class:`ExperimentConfig` field, any session-variant knob or the seed
+    policy produces a different key and the stale entry is never
+    consulted.  Each entry additionally records *how* it was produced —
+    cache schema version, the scenario's own dict and content hash, and
+    the git revision — so cross-PR figure regressions are diffable and a
+    schema break is **logged** when detected rather than silently
+    recomputed.
     """
 
     def __init__(self, root: os.PathLike | str):
@@ -68,24 +96,52 @@ class ResultCache:
         return self.root / f"{key}.pkl"
 
     def get(self, job: ExperimentJob):
-        """The cached result for ``job``, or None when absent/unreadable."""
-        path = self._path(job.key())
+        """The cached result for ``job``, or None when absent/unusable."""
+        entry = self.get_entry(job.key())
+        return None if entry is None else entry.get("result")
+
+    def get_entry(self, key: str) -> Optional[dict]:
+        """The full provenance-stamped entry for ``key``, or None."""
+        path = self._path(key)
         if not path.exists():
             return None
         try:
             with path.open("rb") as handle:
-                return pickle.load(handle)
+                entry = pickle.load(handle)
         except Exception:
-            return None    # unreadable/corrupt entry (any cause): plain miss
+            logger.warning("cache entry %s is unreadable; recomputing", path)
+            return None
+        if not isinstance(entry, dict) or "schema" not in entry:
+            logger.warning(
+                "cache entry %s predates provenance stamping; recomputing", path)
+            return None
+        if entry["schema"] != CACHE_SCHEMA_VERSION:
+            logger.warning(
+                "rejecting stale cache entry %s: schema version %s != current "
+                "%s (written at git rev %s); recomputing", path,
+                entry["schema"], CACHE_SCHEMA_VERSION,
+                entry.get("git_rev", "unknown"))
+            return None
+        return entry
 
     def put(self, job: ExperimentJob, result) -> None:
-        """Store ``result`` atomically (rename) so readers never see a
-        half-written entry."""
+        """Store ``result`` with provenance, atomically (rename) so readers
+        never see a half-written entry."""
+        entry = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "key": job.key(),
+            "kind": job.kind,
+            "duration": job.duration,
+            "scenario": job.scenario.to_dict(),
+            "scenario_hash": job.scenario.content_hash(),
+            "git_rev": current_git_rev(),
+            "result": result,
+        }
         path = self._path(job.key())
         fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp_name, path)
         except BaseException:
             try:

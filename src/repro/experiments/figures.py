@@ -30,6 +30,7 @@ from repro.experiments import (
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.executor import ExperimentSuite, run_jobs
 from repro.experiments.jobs import ExperimentJob
+from repro.scenarios.mixes import n_way_mixes
 
 __all__ = ["FIGURES", "FigureSpec", "figure_names", "run_figure"]
 
@@ -165,6 +166,14 @@ def _fig19_aggregate(config, results):
     return _rows(mixed.contentiousness_from_results("D2", co_runners, results))
 
 
+def _nway_jobs(config):
+    return mixed.n_way_jobs(n_way_mixes(config))
+
+
+def _nway_aggregate(config, results):
+    return mixed.n_way_fps_from_results(n_way_mixes(config), results)
+
+
 def _fig20_jobs(config):
     return containers.container_jobs(config.benchmarks, config)
 
@@ -274,6 +283,8 @@ def _build_registry() -> dict[str, FigureSpec]:
         _fig18_jobs, _fig18_aggregate)
     add("fig19", "Figure 19: Dota 2 contentiousness",
         _fig19_jobs, _fig19_aggregate)
+    add("nway", "Beyond the paper: 3/4-way mixed-instance client FPS",
+        _nway_jobs, _nway_aggregate)
     add("fig20", "Figure 20: container overhead",
         _fig20_jobs, _fig20_aggregate)
     add("fig22", "Figure 22: frame-copy optimization gains",

@@ -1,88 +1,65 @@
 """Declarative experiment jobs: the unit of work of the execution subsystem.
 
-Every testbed run in the repository — single-instance, colocated,
-mixed-pair, containerized, optimization and machine-spec ablations, the
-intelligent-client accuracy rows — is described by an
-:class:`ExperimentJob`: *which* benchmark instances to place on a host,
-*how* the host and sessions are configured (:class:`JobVariant`), and the
-seed offset that decorrelates repeated runs.  A job is a frozen, fully
-picklable value object, so it can be shipped to a worker process, hashed
-into a cache key, and compared for deduplication.
+An :class:`ExperimentJob` is now a thin wrapper around the canonical
+:class:`~repro.scenarios.Scenario` value: ``(scenario, kind, duration)``.
+The scenario says *what* runs (placements, machine, session variant,
+network, seed policy); ``kind`` selects the executor routine and
+``duration`` optionally overrides the measurement interval.  A job stays
+a frozen, fully picklable value object, so it can be shipped to a worker
+process, hashed into a cache key, and compared for deduplication.
 
 :func:`execute_job` is the single entry point that turns a job into a
 result.  It is a module-level function (required by
 :class:`concurrent.futures.ProcessPoolExecutor`) and is deterministic:
 the same job produces a bit-identical result whether executed serially,
 in a worker process, or replayed from the on-disk cache.
+
+The legacy keyword form ``ExperimentJob(benchmarks=..., config=...,
+variant=JobVariant(...), seed_offset=...)`` is still accepted and builds
+the equivalent scenario internally; new code should construct scenarios
+directly.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
+from typing import Optional
 
-from repro.core.pictor import PictorConfig
 from repro.experiments.config import ExperimentConfig
-from repro.graphics.pipeline import PipelineConfig
-from repro.hardware.cpu import CpuSpec
-from repro.hardware.gpu import GpuSpec
-from repro.hardware.machine import MachineSpec
-from repro.hardware.memory import MemorySpec
-from repro.server.host import CloudHost, HostConfig, HostResult
-from repro.server.session import SessionConfig
+# Submodule imports (not the repro.scenarios facade): this module loads
+# while repro.scenarios may itself still be initializing.
+from repro.scenarios.machines import MACHINE_SPECS, machine_spec
+from repro.scenarios.scenario import (
+    SCENARIO_SCHEMA_VERSION,
+    Placement,
+    Scenario,
+    SeedPolicy,
+)
+from repro.scenarios.variants import SessionVariant
+from repro.server.host import CloudHost, HostResult
 
-__all__ = ["ExperimentJob", "JobVariant", "execute_job", "machine_spec"]
+__all__ = ["CACHE_SCHEMA_VERSION", "ExperimentJob", "JobVariant",
+           "execute_job", "machine_spec", "MACHINE_SPECS"]
 
-#: Bump when the result layout changes so stale cache entries never load.
-CACHE_SCHEMA_VERSION = 1
+#: Bump when the cached result layout (or the scenario schema) changes.
+#: Stored *inside* every cache entry so stale provenance is detected and
+#: logged instead of silently recomputed (see ``executor.ResultCache``).
+CACHE_SCHEMA_VERSION = SCENARIO_SCHEMA_VERSION
 
 #: Job kinds understood by :func:`execute_job`.
 JOB_KINDS = ("host", "accuracy", "inference")
 
 
-def _no_contention_spec() -> MachineSpec:
-    """A machine whose shared resources never push back.
-
-    Plenty of cores, an enormous L3 with no pressure sensitivity, and a
-    GPU that does not slow down when shared: colocation then costs almost
-    nothing, which is exactly what the contention model is there to avoid
-    (see :mod:`repro.experiments.ablations`).
-    """
-    return MachineSpec(
-        cpu=CpuSpec(cores=64, frequency_ghz=3.6, l3_mb=2048.0),
-        memory=MemorySpec(l3_mb=2048.0, pressure_sensitivity=0.0,
-                          max_stall_factor=1.0),
-        gpu=GpuSpec(sharing_slowdown_per_context=0.0,
-                    l2_pressure_sensitivity=0.0, l2_miss_penalty=0.0,
-                    pipeline_depth=16),
-    )
-
-
-#: Named machine specifications a job may request.  Names (not spec
-#: objects) appear in the job so the cache key stays a small string.
-MACHINE_SPECS = {
-    "paper": MachineSpec.paper_server,
-    "no_contention": _no_contention_spec,
-}
-
-
-def machine_spec(name: str) -> MachineSpec:
-    try:
-        return MACHINE_SPECS[name]()
-    except KeyError:
-        raise KeyError(f"unknown machine spec {name!r}; "
-                       f"known: {sorted(MACHINE_SPECS)}") from None
-
-
 @dataclass(frozen=True)
 class JobVariant:
-    """The declarative configuration knobs of one testbed run.
+    """Deprecated: the pre-scenario bundle of testbed knobs.
 
-    The flags mirror :func:`repro.experiments.runner.make_session_config`
-    plus the host-level switches, so every combination the figure
-    generators use is expressible without closures (closures cannot cross
-    a process boundary).
+    Kept so existing callers (and pickled jobs) keep working; it simply
+    splits into the scenario's :class:`SessionVariant` plus the
+    host-level ``containerized`` / ``machine`` options.  New code should
+    use :func:`repro.scenarios.session_variant` and scenario fields.
     """
 
     containerized: bool = False
@@ -98,120 +75,150 @@ class JobVariant:
             raise ValueError(f"unknown machine spec {self.machine!r}; "
                              f"known: {sorted(MACHINE_SPECS)}")
 
-    def session_config(self) -> SessionConfig:
-        """The per-session configuration this variant describes."""
-        pipeline = PipelineConfig(
+    def split(self) -> tuple[SessionVariant, bool, str]:
+        """(session variant, containerized, machine) for a scenario."""
+        session = SessionVariant(
             measurement_enabled=self.measurement_enabled,
             double_buffered_queries=self.double_buffered_queries,
             memoize_window_attributes=self.memoize_window_attributes,
             two_step_frame_copy=self.two_step_frame_copy,
+            slow_motion=self.slow_motion,
         )
-        return SessionConfig(pipeline=pipeline, slow_motion=self.slow_motion)
+        return session, self.containerized, self.machine
 
-    def pictor_config(self) -> PictorConfig:
-        return PictorConfig(
-            measurement_enabled=self.measurement_enabled,
-            double_buffered_queries=self.double_buffered_queries,
-        )
+    def session_config(self):
+        return self.split()[0].session_config()
+
+    def pictor_config(self):
+        return self.split()[0].pictor_config()
 
     @staticmethod
     def optimized(keys=None) -> "JobVariant":
-        """The variant with the selected Section-6 optimizations enabled.
-
-        Keys and their configuration fields come from the optimization
-        registry (:data:`repro.optimizations.OPTIMIZATIONS`), so the job
-        path and the legacy ``apply_optimizations`` path cannot diverge.
-        """
-        from repro.optimizations import OPTIMIZATIONS
-        known = {opt.key: opt.config_field for opt in OPTIMIZATIONS}
-        keys = tuple(known) if keys is None else tuple(keys)
-        unknown = set(keys) - set(known)
-        if unknown:
-            raise KeyError(f"unknown optimizations {sorted(unknown)}; "
-                           f"known: {sorted(known)}")
-        return JobVariant(**{known[key]: True for key in keys})
+        """The variant with the selected Section-6 optimizations enabled."""
+        session = SessionVariant.optimized(keys)
+        return JobVariant(**asdict(session))
 
 
 @dataclass(frozen=True)
 class ExperimentJob:
-    """One independent unit of experiment work.
+    """One independent unit of experiment work: ``(scenario, kind, duration)``.
 
     ``kind`` selects the executor routine:
 
     ``host``
-        Build a :class:`~repro.server.host.CloudHost`, place one session
-        per entry of ``benchmarks`` on it, run for the config's
-        measurement interval and return the
+        Build the scenario's :class:`~repro.server.host.CloudHost`, run it
+        for the measurement interval (``duration`` when given, else the
+        scenario config's) and return the
         :class:`~repro.server.host.HostResult`.
     ``accuracy``
-        Train the intelligent client for ``benchmarks[0]`` (the training
-        seed is offset by ``seed_offset``) and run the five-methodology
-        Table-3 comparison, returning an
+        Train the intelligent client for the scenario's single benchmark
+        (the training seed is offset by the seed policy) and run the
+        five-methodology Table-3 comparison, returning an
         :class:`~repro.experiments.accuracy.AccuracyRow`.
     ``inference``
-        Train the intelligent client for ``benchmarks[0]`` and measure
-        its CNN/LSTM inference times (one Figure-7 row, a dict).
+        Train the intelligent client for the scenario's single benchmark
+        and measure its CNN/LSTM inference times (one Figure-7 row, a dict).
     """
 
-    benchmarks: tuple[str, ...]
-    config: ExperimentConfig
-    variant: JobVariant = field(default_factory=JobVariant)
-    seed_offset: int = 0
+    scenario: Scenario
     kind: str = "host"
+    duration: Optional[float] = None
+
+    def __init__(self, scenario: Optional[Scenario] = None, kind: str = "host",
+                 duration: Optional[float] = None, *,
+                 benchmarks=None, config: Optional[ExperimentConfig] = None,
+                 variant: Optional[JobVariant] = None, seed_offset: int = 0):
+        if scenario is None:
+            if benchmarks is None or config is None:
+                raise TypeError("pass a Scenario, or the legacy benchmarks= "
+                                "and config= keywords")
+            session, containerized, machine = (variant or JobVariant()).split()
+            scenario = Scenario(
+                placements=tuple(Placement(b) for b in benchmarks),
+                config=config, variant=session, machine=machine,
+                containerized=containerized,
+                seed=SeedPolicy(offset=seed_offset))
+        elif (benchmarks is not None or config is not None
+              or variant is not None or seed_offset):
+            raise TypeError("pass either a Scenario or the legacy keywords, "
+                            "not both")
+        object.__setattr__(self, "scenario", scenario)
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "duration", duration)
+        self.__post_init__()
 
     def __post_init__(self) -> None:
         if self.kind not in JOB_KINDS:
             raise ValueError(f"unknown job kind {self.kind!r}; "
                              f"known: {JOB_KINDS}")
-        if not self.benchmarks:
-            raise ValueError("a job needs at least one benchmark")
-        if self.kind != "host" and len(self.benchmarks) != 1:
-            raise ValueError(f"{self.kind!r} jobs take exactly one benchmark")
+        if self.kind != "host":
+            if len(self.scenario.benchmarks) != 1:
+                raise ValueError(f"{self.kind!r} jobs take exactly one "
+                                 "benchmark")
+            # The training executors only honor (benchmark, config, seed
+            # offset); reject scenario knobs they would silently ignore —
+            # otherwise the cache would stamp paper-machine bare-metal
+            # results with the unhonored scenario.
+            reference = Scenario(placements=self.scenario.placements,
+                                 config=self.scenario.config,
+                                 seed=SeedPolicy(
+                                     offset=self.scenario.seed.offset))
+            if self.scenario != reference:
+                raise ValueError(
+                    f"{self.kind!r} jobs support only default variant/"
+                    "machine/network/host options and config-relative seeds")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError("duration override must be positive")
 
+    # -- legacy views -----------------------------------------------------------------
+    @property
+    def benchmarks(self) -> tuple[str, ...]:
+        return self.scenario.benchmarks
+
+    @property
+    def config(self) -> ExperimentConfig:
+        return self.scenario.config
+
+    @property
+    def seed_offset(self) -> int:
+        return self.scenario.seed.offset
+
+    def effective_duration(self) -> float:
+        return (self.scenario.config.duration_s if self.duration is None
+                else self.duration)
+
+    # -- identity ---------------------------------------------------------------------
     def key(self) -> str:
         """Content hash identifying this job's result in the cache."""
         payload = {
-            "schema": CACHE_SCHEMA_VERSION,
             "kind": self.kind,
-            "benchmarks": list(self.benchmarks),
-            "config": asdict(self.config),
-            "variant": asdict(self.variant),
-            "seed_offset": self.seed_offset,
+            "duration": self.duration,
+            "scenario": {key: value
+                         for key, value in self.scenario.to_dict().items()
+                         if key != "schema"},
         }
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def describe(self) -> str:
         """A short human-readable label for progress output."""
-        parts = ["+".join(self.benchmarks), f"seed+{self.seed_offset}"]
+        label = self.scenario.describe()
         if self.kind != "host":
-            parts.insert(0, self.kind)
-        if self.variant != JobVariant():
-            changed = [name for name, value in asdict(self.variant).items()
-                       if value != getattr(JobVariant(), name)]
-            parts.append(",".join(changed))
-        return " ".join(parts)
+            label = f"{self.kind} {label}"
+        if self.duration is not None:
+            label += f" dur={self.duration:g}s"
+        return label
 
 
 def build_job_host(job: ExperimentJob) -> CloudHost:
     """Construct the (not yet run) testbed host a ``host`` job describes."""
-    variant = job.variant
-    host_config = HostConfig(
-        seed=job.config.seed + job.seed_offset,
-        machine_spec=machine_spec(variant.machine),
-        pictor=variant.pictor_config(),
-        containerized=variant.containerized,
-    )
-    host = CloudHost(host_config)
-    for benchmark in job.benchmarks:
-        host.add_instance(benchmark, session_config=variant.session_config())
-    return host
+    return job.scenario.build_host()
 
 
 def _execute_host(job: ExperimentJob) -> HostResult:
-    host = build_job_host(job)
-    return host.run(duration=job.config.duration_s,
-                    warmup=job.config.warmup_s)
+    host = job.scenario.build_host()
+    return host.run(duration=job.effective_duration(),
+                    warmup=job.scenario.config.warmup_s)
 
 
 def _execute_accuracy(job: ExperimentJob):

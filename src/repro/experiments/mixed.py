@@ -16,22 +16,35 @@ from dataclasses import dataclass, field
 from itertools import combinations
 from typing import Optional
 
+from repro.apps.registry import all_benchmarks
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.executor import ExperimentSuite, run_jobs
 from repro.experiments.jobs import ExperimentJob
+from repro.scenarios.mixes import n_way_mixes
+from repro.scenarios.scenario import Scenario
 
 __all__ = ["ContentiousnessRow", "PairResult", "all_pairs",
            "pair_fps", "pair_fps_jobs", "pair_fps_from_results",
            "contentiousness", "contentiousness_jobs",
            "contentiousness_from_results",
            "pair_energy_saving", "pair_energy_jobs",
-           "pair_energy_from_results"]
+           "pair_energy_from_results",
+           "n_way_jobs", "n_way_fps", "n_way_fps_from_results"]
+
+
+#: The paper's QoS floor: every instance must hold at least this client FPS.
+QOS_CLIENT_FPS = 25.0
 
 
 def all_pairs(benchmarks=None) -> list[tuple[str, str]]:
-    """The 15 unordered benchmark pairs, in a stable order."""
-    benchmarks = list(benchmarks or
-                      ("STK", "0AD", "RE", "D2", "IM", "ITP"))
+    """Every unordered benchmark pair, in a stable order.
+
+    Defaults to the full apps registry, so newly registered workloads
+    join the pair sweep automatically; the paper's standard six-benchmark
+    suite yields its fifteen pairs.
+    """
+    benchmarks = list(benchmarks if benchmarks is not None
+                      else all_benchmarks())
     return list(combinations(benchmarks, 2))
 
 
@@ -46,8 +59,8 @@ class PairResult:
 
     @property
     def both_meet_qos(self) -> bool:
-        """Whether both members stay above the 25-FPS QoS floor."""
-        return all(fps >= 25.0 for fps in self.client_fps.values())
+        """Whether both members stay above the QoS floor."""
+        return all(fps >= QOS_CLIENT_FPS for fps in self.client_fps.values())
 
 
 @dataclass
@@ -63,10 +76,10 @@ class ContentiousnessRow:
 
 # -- Figure 18 ------------------------------------------------------------------------
 def pair_fps_jobs(pairs, config: ExperimentConfig) -> list[ExperimentJob]:
-    """One mixed-pair run per pair, as declarative jobs."""
-    return [ExperimentJob(benchmarks=(left, right), config=config,
-                          seed_offset=300 + index)
-            for index, (left, right) in enumerate(pairs)]
+    """One mixed-pair scenario per pair, as declarative jobs."""
+    return [ExperimentJob(Scenario.mixed(pair, config,
+                                         seed_offset=300 + index))
+            for index, pair in enumerate(pairs)]
 
 
 def pair_fps_from_results(pairs, results) -> list[PairResult]:
@@ -97,9 +110,9 @@ def pair_fps(config: Optional[ExperimentConfig] = None, pairs=None,
 def contentiousness_jobs(target: str, co_runners,
                          config: ExperimentConfig) -> list[ExperimentJob]:
     """The solo run (first) followed by one pair run per co-runner."""
-    jobs = [ExperimentJob(benchmarks=(target,), config=config, seed_offset=400)]
-    jobs.extend(ExperimentJob(benchmarks=(target, co_runner), config=config,
-                              seed_offset=410 + index)
+    jobs = [ExperimentJob(Scenario.single(target, config, seed_offset=400))]
+    jobs.extend(ExperimentJob(Scenario.mixed((target, co_runner), config,
+                                             seed_offset=410 + index))
                 for index, co_runner in enumerate(co_runners))
     return jobs
 
@@ -148,9 +161,9 @@ def pair_energy_jobs(pair: tuple[str, str],
     """The shared run and the two solo runs of the energy comparison."""
     left, right = pair
     return [
-        ExperimentJob(benchmarks=(left, right), config=config, seed_offset=500),
-        ExperimentJob(benchmarks=(left,), config=config, seed_offset=501),
-        ExperimentJob(benchmarks=(right,), config=config, seed_offset=502),
+        ExperimentJob(Scenario.mixed((left, right), config, seed_offset=500)),
+        ExperimentJob(Scenario.single(left, config, seed_offset=501)),
+        ExperimentJob(Scenario.single(right, config, seed_offset=502)),
     ]
 
 
@@ -174,3 +187,34 @@ def pair_energy_saving(pair: tuple[str, str],
     """Energy comparison: the pair on one server vs. each app on its own server."""
     config = config or ExperimentConfig()
     return pair_energy_from_results(run_jobs(pair_energy_jobs(pair, config), suite))
+
+
+# -- Deeper mixes: 3–4 mixed instances per server -------------------------------------
+def n_way_jobs(scenarios) -> list[ExperimentJob]:
+    """One job per N-way mix scenario (see :func:`repro.scenarios.n_way_mixes`)."""
+    return [ExperimentJob(scenario) for scenario in scenarios]
+
+
+def n_way_fps_from_results(scenarios, results) -> list[dict[str, object]]:
+    """One row per mix: per-member client FPS floor/mean and the QoS verdict."""
+    rows = []
+    for scenario, run in zip(scenarios, results):
+        fps = [report.client_fps for report in run.reports]
+        rows.append({
+            "mix": "+".join(scenario.benchmarks),
+            "instances": len(run.reports),
+            "min_client_fps": min(fps),
+            "mean_client_fps": sum(fps) / len(fps),
+            "all_meet_qos": all(f >= QOS_CLIENT_FPS for f in fps),
+            "total_power_watts": run.average_power_watts,
+        })
+    return rows
+
+
+def n_way_fps(config: Optional[ExperimentConfig] = None, sizes=(3, 4),
+              suite: Optional[ExperimentSuite] = None) -> list[dict[str, object]]:
+    """Client FPS for every 3- and 4-way mix of the configured benchmarks."""
+    config = config or ExperimentConfig()
+    scenarios = n_way_mixes(config, sizes=sizes)
+    results = run_jobs(n_way_jobs(scenarios), suite)
+    return n_way_fps_from_results(scenarios, results)

@@ -16,7 +16,9 @@ import numpy as np
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.executor import ExperimentSuite, run_jobs
-from repro.experiments.jobs import ExperimentJob, JobVariant
+from repro.experiments.jobs import ExperimentJob
+from repro.scenarios.scenario import Scenario
+from repro.scenarios.variants import SessionVariant
 
 __all__ = ["OptimizationRow", "OptimizationSummary", "optimization_jobs",
            "optimization_improvements", "optimization_rows_from_results",
@@ -80,13 +82,14 @@ class OptimizationSummary:
 
 
 def _pair_jobs(benchmark: str, config: ExperimentConfig, seed_offset: int,
-               optimized: JobVariant) -> list[ExperimentJob]:
-    """The (baseline, optimized) job pair for one benchmark."""
+               optimized: SessionVariant) -> list[ExperimentJob]:
+    """The (baseline, optimized) scenario pair for one benchmark."""
     return [
-        ExperimentJob(benchmarks=(benchmark,), config=config,
-                      seed_offset=seed_offset),
-        ExperimentJob(benchmarks=(benchmark,), config=config,
-                      seed_offset=seed_offset, variant=optimized),
+        ExperimentJob(Scenario.single(benchmark, config,
+                                      seed_offset=seed_offset)),
+        ExperimentJob(Scenario.single(benchmark, config,
+                                      seed_offset=seed_offset,
+                                      variant=optimized)),
     ]
 
 
@@ -109,7 +112,7 @@ def optimization_jobs(benchmarks, config: ExperimentConfig) -> list[ExperimentJo
     jobs = []
     for index, benchmark in enumerate(benchmarks):
         jobs.extend(_pair_jobs(benchmark, config, 700 + index,
-                               JobVariant.optimized()))
+                               SessionVariant.optimized()))
     return jobs
 
 
@@ -145,7 +148,8 @@ def optimization_ablation(benchmark: str = "STK",
     }
     jobs = []
     for keys in variants.values():
-        jobs.extend(_pair_jobs(benchmark, config, 750, JobVariant.optimized(keys)))
+        jobs.extend(_pair_jobs(benchmark, config, 750,
+                               SessionVariant.optimized(keys)))
     run_results = run_jobs(jobs, suite)       # the baseline deduplicates to one run
     results = {}
     for index, label in enumerate(variants):

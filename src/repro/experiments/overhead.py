@@ -17,14 +17,13 @@ import numpy as np
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.executor import ExperimentSuite, run_jobs
-from repro.experiments.jobs import ExperimentJob, JobVariant
+from repro.experiments.jobs import ExperimentJob
+from repro.scenarios.scenario import Scenario
+from repro.scenarios.variants import session_variant
 
 __all__ = ["OverheadRow", "OverheadSummary", "overhead_jobs",
            "framework_overhead", "framework_overhead_from_results",
            "query_buffer_ablation"]
-
-#: The native (uninstrumented) TurboVNC configuration.
-_NATIVE = JobVariant(measurement_enabled=False)
 
 
 @dataclass
@@ -62,14 +61,16 @@ class OverheadSummary:
 
 def overhead_jobs(benchmarks, config: ExperimentConfig,
                   double_buffered: bool = True) -> list[ExperimentJob]:
-    """A (native, instrumented) job pair per benchmark, interleaved."""
+    """A (native, instrumented) scenario pair per benchmark, interleaved."""
+    instrumented = session_variant("default" if double_buffered
+                                   else "single_buffered")
     jobs = []
     for index, benchmark in enumerate(benchmarks):
-        jobs.append(ExperimentJob(benchmarks=(benchmark,), config=config,
-                                  seed_offset=index, variant=_NATIVE))
-        jobs.append(ExperimentJob(
-            benchmarks=(benchmark,), config=config, seed_offset=index,
-            variant=JobVariant(double_buffered_queries=double_buffered)))
+        jobs.append(ExperimentJob(Scenario.single(
+            benchmark, config, seed_offset=index,
+            variant=session_variant("native"))))
+        jobs.append(ExperimentJob(Scenario.single(
+            benchmark, config, seed_offset=index, variant=instrumented)))
     return jobs
 
 
@@ -97,11 +98,12 @@ def query_buffer_jobs(benchmark: str, config: ExperimentConfig,
                       ) -> list[ExperimentJob]:
     """Native plus double- and single-buffered instrumented runs."""
     return [
-        ExperimentJob(benchmarks=(benchmark,), config=config, variant=_NATIVE),
-        ExperimentJob(benchmarks=(benchmark,), config=config,
-                      variant=JobVariant(double_buffered_queries=True)),
-        ExperimentJob(benchmarks=(benchmark,), config=config,
-                      variant=JobVariant(double_buffered_queries=False)),
+        ExperimentJob(Scenario.single(benchmark, config,
+                                      variant=session_variant("native"))),
+        ExperimentJob(Scenario.single(benchmark, config,
+                                      variant=session_variant("default"))),
+        ExperimentJob(Scenario.single(benchmark, config,
+                                      variant=session_variant("single_buffered"))),
     ]
 
 

@@ -14,6 +14,7 @@ from typing import Optional
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.executor import ExperimentSuite, run_jobs
 from repro.experiments.jobs import ExperimentJob
+from repro.scenarios.scenario import Scenario
 
 __all__ = ["PowerPoint", "power_jobs", "power_points_from_results",
            "per_instance_power"]
@@ -42,8 +43,8 @@ def power_jobs(benchmark: str, config: Optional[ExperimentConfig] = None,
     """The Figure-17 colocation runs, as declarative jobs."""
     config = config or ExperimentConfig()
     max_instances = max_instances or config.max_instances
-    return [ExperimentJob(benchmarks=(benchmark,) * count, config=config,
-                          seed_offset=200 + count)
+    return [ExperimentJob(Scenario.colocated(benchmark, count, config,
+                                             seed_offset=200 + count))
             for count in range(1, max_instances + 1)]
 
 

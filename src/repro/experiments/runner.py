@@ -1,38 +1,53 @@
-"""Shared testbed-construction helpers used by every experiment generator.
+"""Deprecated testbed-construction helpers, now thin Scenario shims.
 
-The declarative path (no custom agent, no hand-built session config) is
-expressed as an :class:`~repro.experiments.jobs.ExperimentJob` and runs
-through :func:`~repro.experiments.jobs.execute_job` — the same routine
-the parallel executor ships to worker processes — so a figure generator
-calling :func:`run_single` and a suite replaying the equivalent job are
-guaranteed to agree bit-for-bit.  Runs that need a trained agent or a
-bespoke :class:`SessionConfig` (closures cannot cross process
-boundaries) fall back to building the host directly.
+Everything these helpers used to assemble by hand — host seed, pictor
+switches, session pipeline booleans — is described declaratively by a
+:class:`~repro.scenarios.Scenario`; the helpers survive as shims so
+existing callers keep working, and each delegates to
+:meth:`Scenario.run`, which is the same routine the parallel executor
+ships to worker processes.  A caller migrating to the scenario API is
+therefore guaranteed bit-identical results.
+
+Runs that need a trained agent or a bespoke :class:`SessionConfig`
+(closures cannot cross process boundaries) go through
+:func:`run_custom`, the one helper that still builds its host directly.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Optional
 
-from repro.core.pictor import PictorConfig
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.jobs import ExperimentJob, JobVariant, execute_job
-from repro.graphics.pipeline import PipelineConfig
+from repro.scenarios.scenario import Scenario
+from repro.scenarios.variants import SessionVariant
 from repro.server.host import CloudHost, HostConfig, HostResult
 from repro.server.session import SessionConfig
 
-__all__ = ["build_host", "run_colocated", "run_mixed_pair", "run_single"]
+__all__ = ["build_host", "run_colocated", "run_custom", "run_mixed_pair",
+           "run_single"]
+
+
+def _deprecated(name: str) -> None:
+    warnings.warn(
+        f"repro.experiments.runner.{name} is deprecated; construct a "
+        f"repro.scenarios.Scenario and call Scenario.run() instead",
+        DeprecationWarning, stacklevel=3)
 
 
 def build_host(config: ExperimentConfig, seed_offset: int = 0,
                containerized: bool = False,
                measurement_enabled: bool = True,
                double_buffered_queries: bool = True) -> CloudHost:
-    """Create an empty testbed host with the experiment's settings."""
+    """Deprecated: create an empty testbed host with the experiment's
+    settings.  Use :meth:`Scenario.build_host` (which also places the
+    instances) instead."""
+    _deprecated("build_host")
+    variant = SessionVariant(measurement_enabled=measurement_enabled,
+                             double_buffered_queries=double_buffered_queries)
     host_config = HostConfig(
         seed=config.seed + seed_offset,
-        pictor=PictorConfig(measurement_enabled=measurement_enabled,
-                            double_buffered_queries=double_buffered_queries),
+        pictor=variant.pictor_config(),
         containerized=containerized,
     )
     return CloudHost(host_config)
@@ -42,15 +57,57 @@ def make_session_config(optimized: bool = False,
                         measurement_enabled: bool = True,
                         double_buffered_queries: bool = True,
                         slow_motion: bool = False) -> SessionConfig:
-    """Build a session configuration for the common experiment variants."""
-    pipeline = PipelineConfig(
+    """Deprecated: build a session configuration from booleans.  Use the
+    named-variant registry (:func:`repro.scenarios.session_variant`)."""
+    _deprecated("make_session_config")
+    variant = SessionVariant(
         measurement_enabled=measurement_enabled,
         double_buffered_queries=double_buffered_queries,
         memoize_window_attributes=optimized,
         two_step_frame_copy=optimized,
+        slow_motion=slow_motion,
     )
-    session = SessionConfig(pipeline=pipeline, slow_motion=slow_motion)
-    return session
+    return variant.session_config()
+
+
+def _empty_host(config: ExperimentConfig, variant: SessionVariant,
+                seed_offset: int, containerized: bool) -> CloudHost:
+    """A testbed host with no instances placed yet, configured exactly as
+    :meth:`Scenario.build_host` configures its host (same seed, machine,
+    pictor switches), so custom-placed runs with default knobs stay
+    bit-identical to the declarative path."""
+    return CloudHost(HostConfig(
+        seed=config.seed + seed_offset,
+        pictor=variant.pictor_config(),
+        containerized=containerized,
+    ))
+
+
+def run_custom(benchmark: str, config: ExperimentConfig,
+               agent_factory: Optional[Callable] = None,
+               session_config: Optional[SessionConfig] = None,
+               seed_offset: int = 0,
+               variant: Optional[SessionVariant] = None,
+               containerized: bool = False) -> HostResult:
+    """Run one instance with a bespoke agent and/or session config.
+
+    This is the escape hatch for runs the declarative scenario model
+    cannot express (trained agents and hand-built session configs are
+    closures/objects that cannot cross a process boundary).  With the
+    default agent and session config it delegates to the scenario path
+    and is bit-identical to it.
+    """
+    variant = variant or SessionVariant()
+    if agent_factory is None and session_config is None:
+        return Scenario.single(benchmark, config, seed_offset=seed_offset,
+                               variant=variant,
+                               containerized=containerized).run()
+    host = _empty_host(config, variant, seed_offset, containerized)
+    if session_config is None:
+        session_config = variant.session_config()
+    host.add_instance(benchmark, agent_factory=agent_factory,
+                      session_config=session_config)
+    return host.run(duration=config.duration_s, warmup=config.warmup_s)
 
 
 def run_single(benchmark: str, config: ExperimentConfig,
@@ -60,19 +117,13 @@ def run_single(benchmark: str, config: ExperimentConfig,
                containerized: bool = False,
                measurement_enabled: bool = True,
                double_buffered_queries: bool = True) -> HostResult:
-    """Run one benchmark instance alone on the server."""
-    if agent_factory is None and session_config is None:
-        return execute_job(ExperimentJob(
-            benchmarks=(benchmark,), config=config, seed_offset=seed_offset,
-            variant=JobVariant(containerized=containerized,
-                               measurement_enabled=measurement_enabled,
-                               double_buffered_queries=double_buffered_queries)))
-    host = build_host(config, seed_offset=seed_offset, containerized=containerized,
-                      measurement_enabled=measurement_enabled,
-                      double_buffered_queries=double_buffered_queries)
-    host.add_instance(benchmark, agent_factory=agent_factory,
-                      session_config=session_config)
-    return host.run(duration=config.duration_s, warmup=config.warmup_s)
+    """Deprecated: run one benchmark instance alone on the server."""
+    _deprecated("run_single")
+    variant = SessionVariant(measurement_enabled=measurement_enabled,
+                             double_buffered_queries=double_buffered_queries)
+    return run_custom(benchmark, config, agent_factory=agent_factory,
+                      session_config=session_config, seed_offset=seed_offset,
+                      variant=variant, containerized=containerized)
 
 
 def run_colocated(benchmark: str, instances: int, config: ExperimentConfig,
@@ -80,15 +131,15 @@ def run_colocated(benchmark: str, instances: int, config: ExperimentConfig,
                   session_config: Optional[SessionConfig] = None,
                   seed_offset: int = 0,
                   containerized: bool = False) -> HostResult:
-    """Run ``instances`` copies of the same benchmark on one server."""
+    """Deprecated: run ``instances`` copies of one benchmark together."""
+    _deprecated("run_colocated")
     if instances < 1:
         raise ValueError("instances must be at least 1")
     if agent_factory is None and session_config is None:
-        return execute_job(ExperimentJob(
-            benchmarks=(benchmark,) * instances, config=config,
-            seed_offset=seed_offset,
-            variant=JobVariant(containerized=containerized)))
-    host = build_host(config, seed_offset=seed_offset, containerized=containerized)
+        return Scenario.colocated(benchmark, instances, config,
+                                  seed_offset=seed_offset,
+                                  containerized=containerized).run()
+    host = _empty_host(config, SessionVariant(), seed_offset, containerized)
     for _ in range(instances):
         host.add_instance(benchmark, agent_factory=agent_factory,
                           session_config=session_config)
@@ -98,8 +149,8 @@ def run_colocated(benchmark: str, instances: int, config: ExperimentConfig,
 def run_mixed_pair(benchmark_a: str, benchmark_b: str, config: ExperimentConfig,
                    seed_offset: int = 0,
                    containerized: bool = False) -> HostResult:
-    """Run two different benchmarks together on one server (Section 5.3)."""
-    return execute_job(ExperimentJob(
-        benchmarks=(benchmark_a, benchmark_b), config=config,
-        seed_offset=seed_offset,
-        variant=JobVariant(containerized=containerized)))
+    """Deprecated: run two different benchmarks together (Section 5.3)."""
+    _deprecated("run_mixed_pair")
+    return Scenario.mixed((benchmark_a, benchmark_b), config,
+                          seed_offset=seed_offset,
+                          containerized=containerized).run()

@@ -23,6 +23,7 @@ from repro.core.reporting import mean_breakdown
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.executor import ExperimentSuite, run_jobs
 from repro.experiments.jobs import ExperimentJob
+from repro.scenarios.scenario import Scenario
 
 __all__ = ["ScalingPoint", "scaling_jobs", "scaling_points_from_results",
            "scaling_sweep", "fps_scaling", "rtt_breakdown_scaling",
@@ -48,8 +49,8 @@ def scaling_jobs(benchmark: str, config: Optional[ExperimentConfig] = None,
     """One colocation run per instance count, as declarative jobs."""
     config = config or ExperimentConfig()
     max_instances = max_instances or config.max_instances
-    return [ExperimentJob(benchmarks=(benchmark,) * count, config=config,
-                          seed_offset=count)
+    return [ExperimentJob(Scenario.colocated(benchmark, count, config,
+                                             seed_offset=count))
             for count in range(1, max_instances + 1)]
 
 

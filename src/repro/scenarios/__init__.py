@@ -1,0 +1,64 @@
+"""Declarative scenarios: the canonical description of a testbed run.
+
+One :class:`Scenario` value says everything about a run — instance
+placements (benchmark, agent, occurrence count), the named machine spec,
+the named session variant, network conditions, host options and the seed
+policy — and every layer of the repository speaks it natively: the figure
+generators build scenarios, the executor hashes them into cache keys, the
+CLI runs them from JSON specs, and the cache stamps results with their
+hash for provenance.
+
+>>> from repro.scenarios import Scenario, session_variant
+>>> s = Scenario.mixed(("RE", "ITP", "D2"), variant=session_variant("optimized"))
+>>> s == Scenario.from_dict(s.to_dict())
+True
+>>> result = s.run()                      # doctest: +SKIP
+"""
+
+from repro.scenarios.config import ExperimentConfig
+from repro.scenarios.machines import (
+    MACHINE_SPECS,
+    machine_spec,
+    register_machine_spec,
+)
+from repro.scenarios.mixes import n_way_mixes
+from repro.scenarios.networks import NETWORKS, network_link, register_network
+from repro.scenarios.scenario import (
+    AGENT_FACTORIES,
+    Placement,
+    SCENARIO_SCHEMA_VERSION,
+    Scenario,
+    SeedPolicy,
+    agent_factory,
+    register_agent,
+)
+from repro.scenarios.variants import (
+    SESSION_VARIANTS,
+    SessionVariant,
+    register_session_variant,
+    session_variant,
+    variant_name,
+)
+
+__all__ = [
+    "AGENT_FACTORIES",
+    "ExperimentConfig",
+    "MACHINE_SPECS",
+    "NETWORKS",
+    "Placement",
+    "SCENARIO_SCHEMA_VERSION",
+    "SESSION_VARIANTS",
+    "Scenario",
+    "SeedPolicy",
+    "SessionVariant",
+    "agent_factory",
+    "machine_spec",
+    "n_way_mixes",
+    "network_link",
+    "register_agent",
+    "register_machine_spec",
+    "register_network",
+    "register_session_variant",
+    "session_variant",
+    "variant_name",
+]

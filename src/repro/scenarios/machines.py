@@ -1,0 +1,64 @@
+"""Named machine specifications a scenario may request.
+
+Scenarios refer to machines by *name* (not by spec object) so the
+serialized form — and therefore the content hash that keys the result
+cache — stays a small string.  The registry is extensible: experiment
+code can register additional specs (a bigger server, a contention-free
+counterfactual, a laptop-class machine) and any scenario can then select
+them declaratively.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.cpu import CpuSpec
+from repro.hardware.gpu import GpuSpec
+from repro.hardware.machine import MachineSpec
+from repro.hardware.memory import MemorySpec
+
+__all__ = ["MACHINE_SPECS", "machine_spec", "register_machine_spec"]
+
+
+def _no_contention_spec() -> MachineSpec:
+    """A machine whose shared resources never push back.
+
+    Plenty of cores, an enormous L3 with no pressure sensitivity, and a
+    GPU that does not slow down when shared: colocation then costs almost
+    nothing, which is exactly what the contention model is there to avoid
+    (see :mod:`repro.experiments.ablations`).
+    """
+    return MachineSpec(
+        cpu=CpuSpec(cores=64, frequency_ghz=3.6, l3_mb=2048.0),
+        memory=MemorySpec(l3_mb=2048.0, pressure_sensitivity=0.0,
+                          max_stall_factor=1.0),
+        gpu=GpuSpec(sharing_slowdown_per_context=0.0,
+                    l2_pressure_sensitivity=0.0, l2_miss_penalty=0.0,
+                    pipeline_depth=16),
+    )
+
+
+#: Named machine specifications, keyed by the name scenarios use.
+MACHINE_SPECS = {
+    "paper": MachineSpec.paper_server,
+    "no_contention": _no_contention_spec,
+}
+
+
+def machine_spec(name: str) -> MachineSpec:
+    """Instantiate the machine specification registered under ``name``."""
+    try:
+        return MACHINE_SPECS[name]()
+    except KeyError:
+        raise KeyError(f"unknown machine spec {name!r}; "
+                       f"known: {sorted(MACHINE_SPECS)}") from None
+
+
+def register_machine_spec(name: str, factory) -> None:
+    """Register a zero-argument ``MachineSpec`` factory under ``name``.
+
+    Names are resolved inside the executing process: register at module
+    import time (see :func:`repro.scenarios.register_agent`) so
+    spawn-based pool workers resolve them too.
+    """
+    if not name:
+        raise ValueError("machine spec name must be non-empty")
+    MACHINE_SPECS[name] = factory

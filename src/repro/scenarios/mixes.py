@@ -1,0 +1,48 @@
+"""Scenario generators for heterogeneous N-way benchmark mixes.
+
+The paper's mixed-pair experiments (Figures 18–19) stop at two instances
+per server; the scenario model holds an arbitrary placement list, so the
+deeper mixes the ROADMAP calls for are one generator away.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Optional
+
+from repro.apps.registry import all_benchmarks
+from repro.scenarios.config import ExperimentConfig
+from repro.scenarios.scenario import Scenario
+
+__all__ = ["n_way_mixes"]
+
+#: Seed-offset block reserved for the N-way mix sweeps, clear of the
+#: per-figure blocks (0–99 characterization, 100+ architecture, … 800+
+#: ablations).
+_NWAY_SEED_BASE = 900
+
+
+def n_way_mixes(config: Optional[ExperimentConfig] = None,
+                sizes=(3, 4), benchmarks=None,
+                seed_offset_base: int = _NWAY_SEED_BASE,
+                **options) -> list[Scenario]:
+    """Every unordered mix of ``sizes`` distinct benchmarks, as scenarios.
+
+    Defaults to the full apps registry (so newly registered workloads
+    join the sweep automatically) restricted by ``config.benchmarks``
+    when a config is given.  ``options`` (variant, machine, network,
+    containerized) pass through to every generated scenario.
+    """
+    config = config or ExperimentConfig()
+    benchmarks = tuple(benchmarks if benchmarks is not None
+                       else config.benchmarks or all_benchmarks())
+    scenarios = []
+    offset = seed_offset_base
+    for size in sizes:
+        if size < 2:
+            raise ValueError("a mix needs at least two instances")
+        for combo in combinations(benchmarks, size):
+            scenarios.append(Scenario.mixed(combo, config=config,
+                                            seed_offset=offset, **options))
+            offset += 1
+    return scenarios

@@ -1,0 +1,41 @@
+"""Named network conditions between each client and the server.
+
+Like machines, link specifications are referenced by name so the
+scenario's serialized form stays small and its content hash stable.  The
+default is the testbed's 1 Gbps LAN; the other presets let a scenario
+degrade every client's network declaratively.
+"""
+
+from __future__ import annotations
+
+from repro.network.link import LinkSpec
+
+__all__ = ["NETWORKS", "network_link", "register_network"]
+
+#: Named link specifications, keyed by the name scenarios use.
+NETWORKS = {
+    "lan_1gbps": LinkSpec.lan_1gbps,
+    "cellular_5g": LinkSpec.cellular_5g,
+    "broadband_10g": LinkSpec.broadband_10g,
+}
+
+
+def network_link(name: str) -> LinkSpec:
+    """Instantiate the link specification registered under ``name``."""
+    try:
+        return NETWORKS[name]()
+    except KeyError:
+        raise KeyError(f"unknown network {name!r}; "
+                       f"known: {sorted(NETWORKS)}") from None
+
+
+def register_network(name: str, factory) -> None:
+    """Register a zero-argument ``LinkSpec`` factory under ``name``.
+
+    Names are resolved inside the executing process: register at module
+    import time (see :func:`repro.scenarios.register_agent`) so
+    spawn-based pool workers resolve them too.
+    """
+    if not name:
+        raise ValueError("network name must be non-empty")
+    NETWORKS[name] = factory

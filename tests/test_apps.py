@@ -171,6 +171,12 @@ def test_register_custom_benchmark_for_extensibility():
         profile = ApplicationProfile(name="Custom", short_name="CUST", genre="test")
         dynamics = SceneDynamics()
 
+    from repro.apps import registry as registry_module
     register_benchmark(CustomApp)
-    assert "CUST" in all_benchmarks()
-    assert isinstance(create_benchmark("CUST"), CustomApp)
+    try:
+        assert "CUST" in all_benchmarks()
+        assert isinstance(create_benchmark("CUST"), CustomApp)
+    finally:
+        # The registry is process-global and feeds defaults elsewhere
+        # (mixed.all_pairs, scenario validation); don't leak the fixture.
+        registry_module._REGISTRY.pop("CUST", None)

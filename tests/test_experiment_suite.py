@@ -17,6 +17,7 @@ from repro.experiments import (
     ExperimentJob,
     ExperimentSuite,
     JobVariant,
+    Scenario,
     execute_job,
     run_single,
 )
@@ -24,6 +25,7 @@ from repro.experiments.executor import ResultCache, run_jobs
 from repro.experiments.figures import FIGURES, run_figure
 from repro.experiments.runner import make_session_config
 from repro.experiments.scaling import scaling_jobs
+from repro.scenarios import session_variant
 
 
 @pytest.fixture(scope="module")
@@ -64,16 +66,26 @@ def test_job_keys_are_stable_and_content_sensitive(config):
     job = ExperimentJob(benchmarks=("RE",), config=config, seed_offset=1)
     assert job.key() == ExperimentJob(benchmarks=("RE",), config=config,
                                       seed_offset=1).key()
-    # Any field change — benchmark, seed, variant knob, config knob —
-    # produces a different key, which is what invalidates the cache.
-    assert job.key() != dataclasses.replace(job, benchmarks=("ITP",)).key()
-    assert job.key() != dataclasses.replace(job, seed_offset=2).key()
-    assert job.key() != dataclasses.replace(
-        job, variant=JobVariant(containerized=True)).key()
-    assert job.key() != dataclasses.replace(
-        job, config=dataclasses.replace(config, duration_s=2.5)).key()
-    assert job.key() != dataclasses.replace(
-        job, config=dataclasses.replace(config, seed=6)).key()
+    # The legacy keyword form and the scenario form agree on identity.
+    assert job.key() == ExperimentJob(
+        Scenario.single("RE", config, seed_offset=1)).key()
+    # Any knob change — benchmark, seed, variant knob, config knob, the
+    # duration override — produces a different key, which is what
+    # invalidates the cache.
+    assert job.key() != ExperimentJob(
+        Scenario.single("ITP", config, seed_offset=1)).key()
+    assert job.key() != ExperimentJob(
+        Scenario.single("RE", config, seed_offset=2)).key()
+    assert job.key() != ExperimentJob(
+        Scenario.single("RE", config, seed_offset=1,
+                        containerized=True)).key()
+    assert job.key() != ExperimentJob(
+        Scenario.single("RE", dataclasses.replace(config, duration_s=2.5),
+                        seed_offset=1)).key()
+    assert job.key() != ExperimentJob(
+        Scenario.single("RE", dataclasses.replace(config, seed=6),
+                        seed_offset=1)).key()
+    assert job.key() != dataclasses.replace(job, duration=1.5).key()
     assert "RE" in job.describe()
 
 
@@ -147,6 +159,72 @@ def test_job_path_matches_legacy_host_construction(config):
                                   session_config=make_session_config(optimized=True))
     assert optimized_job.as_dict() == optimized_legacy.as_dict()
 
+    # The named-variant scenario path agrees with both.
+    optimized_scenario = Scenario.single(
+        "RE", config, seed_offset=4,
+        variant=session_variant("optimized")).run()
+    assert optimized_scenario.as_dict() == optimized_job.as_dict()
+
+
+def test_cache_entries_are_provenance_stamped(tmp_path, config):
+    from repro.experiments.jobs import CACHE_SCHEMA_VERSION
+
+    job = ExperimentJob(Scenario.single("RE", config, seed_offset=1))
+    suite = ExperimentSuite(workers=1, cache_dir=tmp_path)
+    suite.run([job])
+
+    cache = ResultCache(tmp_path)
+    entry = cache.get_entry(job.key())
+    assert entry["schema"] == CACHE_SCHEMA_VERSION
+    assert entry["scenario_hash"] == job.scenario.content_hash()
+    assert entry["scenario"] == job.scenario.to_dict()
+    assert entry["kind"] == "host"
+    assert "git_rev" in entry
+
+
+def test_stale_schema_cache_entry_is_rejected_with_a_log(tmp_path, config,
+                                                         caplog):
+    import logging
+    import pickle
+
+    job = ExperimentJob(Scenario.single("RE", config, seed_offset=1))
+    suite = ExperimentSuite(workers=1, cache_dir=tmp_path)
+    [fresh] = suite.run([job])
+
+    # Rewrite the entry as if an older schema produced it.
+    cache = ResultCache(tmp_path)
+    entry = cache.get_entry(job.key())
+    entry["schema"] -= 1
+    with (tmp_path / f"{job.key()}.pkl").open("wb") as handle:
+        pickle.dump(entry, handle)
+
+    with caplog.at_level(logging.WARNING, logger="repro.experiments.executor"):
+        again = ExperimentSuite(workers=1, cache_dir=tmp_path)
+        [recomputed] = again.run([job])
+    assert again.stats.cache_hits == 0
+    assert again.stats.executed == 1
+    assert any("stale cache entry" in record.message
+               for record in caplog.records)
+    assert recomputed.as_dict() == fresh.as_dict()
+
+
+def test_pre_provenance_cache_entry_is_rejected_with_a_log(tmp_path, config,
+                                                           caplog):
+    import logging
+    import pickle
+
+    job = ExperimentJob(Scenario.single("RE", config, seed_offset=1))
+    # A bare pickled result, as the pre-scenario cache wrote it.
+    with (tmp_path / f"{job.key()}.pkl").open("wb") as handle:
+        pickle.dump({"not": "stamped"}, handle)
+
+    with caplog.at_level(logging.WARNING, logger="repro.experiments.executor"):
+        suite = ExperimentSuite(workers=1, cache_dir=tmp_path)
+        suite.run([job])
+    assert suite.stats.cache_hits == 0
+    assert suite.stats.executed == 1
+    assert any("provenance" in record.message for record in caplog.records)
+
 
 def test_run_jobs_uses_default_suite(config, monkeypatch, tmp_path):
     monkeypatch.setenv("PICTOR_CACHE_DIR", str(tmp_path))
@@ -160,7 +238,7 @@ def test_run_jobs_uses_default_suite(config, monkeypatch, tmp_path):
 def test_figure_registry_covers_the_benchmarks(config):
     expected = {"fig06", "fig07", "sec4", "fig08", "fig09", "fig10", "fig11",
                 "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
-                "fig19", "fig20", "fig22", "ablation", "table4"}
+                "fig19", "fig20", "fig22", "ablation", "table4", "nway"}
     assert expected == set(FIGURES)
     with pytest.raises(KeyError):
         run_figure("fig99", config)

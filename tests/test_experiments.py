@@ -130,8 +130,13 @@ def test_fig17_power_amortization(config):
 
 
 def test_fig18_19_mixed_pairs(config):
+    # The default pair sweep derives from the apps registry: n*(n-1)/2
+    # unordered pairs (15 for the paper's standard six benchmarks).
+    from repro.apps.registry import all_benchmarks
+    n = len(all_benchmarks())
     pairs = mixed.all_pairs()
-    assert len(pairs) == 15
+    assert len(pairs) == n * (n - 1) // 2
+    assert len(mixed.all_pairs(("STK", "0AD", "RE", "D2", "IM", "ITP"))) == 15
     results = mixed.pair_fps(config, pairs=[("RE", "ITP"), ("STK", "D2")])
     assert len(results) == 2
     assert results[0].both_meet_qos        # light pair keeps QoS

@@ -31,6 +31,46 @@ def test_make_config_profiles_and_overrides():
     assert paper.duration_s > smoke.duration_s
 
 
+def test_scenario_subcommand_runs_a_mix_shorthand(capsys):
+    assert main(["scenario", "RE+ITP+D2", "--profile", "smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "scenario RE+ITP+D2" in out
+    assert "client_fps" in out
+    assert "provenance: schema v" in out
+
+
+def test_scenario_subcommand_rejects_bad_specs(capsys):
+    assert main(["scenario", "no-such-file.json"]) == 2
+    assert "cannot interpret scenario spec" in capsys.readouterr().err
+    assert main(["scenario", '{"placements": ["NOPE"]}']) == 2
+    assert "unknown benchmark" in capsys.readouterr().err
+
+
+def test_scenario_subcommand_is_backend_invariant(capsys, tmp_path):
+    """Serial, parallel and cache-replay runs print bit-identical stdout."""
+    spec = tmp_path / "mixes.json"
+    spec.write_text(
+        '[{"placements": ["RE", "ITP", "D2"], "seed": {"offset": 900}},\n'
+        ' {"placements": ["STK", "RE", "ITP", "D2"], "seed": {"offset": 901},\n'
+        '  "variant": "optimized"}]')
+    base = ["scenario", str(spec), "--profile", "smoke"]
+
+    assert main(base) == 0
+    serial = capsys.readouterr().out
+    assert serial.count("scenario ") == 2
+
+    assert main(base + ["--workers", "2"]) == 0
+    parallel = capsys.readouterr().out
+
+    cache_dir = str(tmp_path / "cache")
+    assert main(base + ["--cache-dir", cache_dir]) == 0
+    warm = capsys.readouterr().out
+    assert main(base + ["--cache-dir", cache_dir]) == 0
+    replayed = capsys.readouterr().out
+
+    assert serial == parallel == warm == replayed
+
+
 def test_runs_a_figure_and_reports_stats(capsys, tmp_path):
     args = ["--figure", "fig15", "--profile", "smoke", "--benchmarks", "RE",
             "--max-instances", "1", "--cache-dir", str(tmp_path)]

@@ -1,0 +1,220 @@
+"""The declarative Scenario API: serialization, hashing, execution.
+
+The contract under test: a scenario is one canonical value — it
+round-trips through ``to_dict``/``from_dict`` unchanged, its content
+hash is stable across processes and sensitive to every knob, and the
+deprecated runner shims produce bit-identical results to
+``Scenario.run()``.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.runner import (
+    run_colocated,
+    run_mixed_pair,
+    run_single,
+)
+from repro.scenarios import (
+    Placement,
+    Scenario,
+    SeedPolicy,
+    SessionVariant,
+    n_way_mixes,
+    session_variant,
+    variant_name,
+)
+
+
+@pytest.fixture(scope="module")
+def config() -> ExperimentConfig:
+    return ExperimentConfig.smoke(seed=5)
+
+
+# -- value semantics ------------------------------------------------------------------
+def test_placement_and_scenario_validation(config):
+    with pytest.raises(ValueError):
+        Placement("NOPE")
+    with pytest.raises(ValueError):
+        Placement("RE", agent="terminator")
+    with pytest.raises(ValueError):
+        Placement("RE", count=0)
+    with pytest.raises(ValueError):
+        Scenario(placements=(), config=config)
+    with pytest.raises(ValueError):
+        Scenario.single("RE", config, machine="warehouse")
+    with pytest.raises(ValueError):
+        Scenario.single("RE", config, network="avian_carrier")
+    with pytest.raises(KeyError):
+        session_variant("overclocked")
+    with pytest.raises(KeyError):
+        SessionVariant.optimized(("warp_drive",))
+
+
+def test_placements_canonicalize_to_counted_form(config):
+    expanded = Scenario.mixed(("RE", "RE", "ITP"), config)
+    counted = Scenario(placements=(Placement("RE", count=2), Placement("ITP")),
+                       config=config)
+    assert expanded == counted
+    assert expanded.content_hash() == counted.content_hash()
+    assert expanded.benchmarks == ("RE", "RE", "ITP")
+    assert counted.instances == (("RE", "human"), ("RE", "human"),
+                                 ("ITP", "human"))
+
+
+def test_dict_round_trip_equality(config):
+    scenario = Scenario.mixed(
+        ("RE", "ITP", "D2"), config, seed_offset=7,
+        variant=session_variant("optimized"), machine="no_contention",
+        containerized=True, network="cellular_5g")
+    rebuilt = Scenario.from_dict(scenario.to_dict())
+    assert rebuilt == scenario
+    assert rebuilt.content_hash() == scenario.content_hash()
+    # And through an actual JSON round trip (what the CLI does).
+    rebuilt = Scenario.from_dict(json.loads(json.dumps(scenario.to_dict())))
+    assert rebuilt == scenario
+
+
+def test_from_dict_accepts_sparse_hand_written_specs(config):
+    scenario = Scenario.from_dict(
+        {"placements": ["RE", "ITP", "D2"], "variant": "optimized",
+         "seed": 3},
+        config=config)
+    assert scenario.benchmarks == ("RE", "ITP", "D2")
+    assert scenario.variant == session_variant("optimized")
+    assert scenario.seed == SeedPolicy(offset=3)
+    assert scenario.config == config
+    # A partial config section merges over the provided base config
+    # instead of silently resetting it to library defaults.
+    merged = Scenario.from_dict(
+        {"placements": ["RE"], "config": {"seed": 7}}, config=config)
+    assert merged.config.seed == 7
+    assert merged.config.duration_s == config.duration_s
+    with pytest.raises(KeyError):
+        Scenario.from_dict({"benchmarks": ["RE"]})
+    with pytest.raises(KeyError):
+        Scenario.from_dict({"placements": ["RE"], "warp": 9})
+    with pytest.raises(KeyError):
+        Scenario.from_dict({"placements": ["RE"], "config": {"warp": 9}})
+
+
+def test_hash_sensitivity(config):
+    base = Scenario.single("RE", config)
+    assert base.content_hash() != Scenario.single("ITP", config).content_hash()
+    assert base.content_hash() != Scenario.single(
+        "RE", config, seed_offset=1).content_hash()
+    # Differing variants hash differently — including each named variant.
+    hashes = {Scenario.single("RE", config,
+                              variant=session_variant(name)).content_hash()
+              for name in ("default", "native", "single_buffered",
+                           "optimized", "memoize_xgwa", "two_step_copy",
+                           "slow_motion")}
+    assert len(hashes) == 7
+    assert base.content_hash() != Scenario.single(
+        "RE", config, containerized=True).content_hash()
+    assert base.content_hash() != Scenario.single(
+        "RE", config, machine="no_contention").content_hash()
+    assert base.content_hash() != Scenario.single(
+        "RE", config, network="broadband_10g").content_hash()
+    # A pinned absolute seed differs from the inherited one.
+    pinned = Scenario(placements=(Placement("RE"),), config=config,
+                      seed=SeedPolicy(offset=0, base=123))
+    assert base.content_hash() != pinned.content_hash()
+    assert pinned.effective_seed() == 123
+
+
+def test_hash_is_stable_across_process_boundaries(config):
+    scenario = Scenario.mixed(("RE", "ITP", "D2"), config, seed_offset=7,
+                              variant=session_variant("optimized"))
+    spec = json.dumps(scenario.to_dict())
+    script = (
+        "import json, sys\n"
+        "from repro.scenarios import Scenario\n"
+        "print(Scenario.from_dict(json.loads(sys.argv[1])).content_hash())\n"
+    )
+    src = Path(__file__).resolve().parent.parent / "src"
+    proc = subprocess.run([sys.executable, "-c", script, spec],
+                          capture_output=True, text=True,
+                          env={"PYTHONPATH": str(src)}, timeout=120)
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip() == scenario.content_hash()
+
+
+def test_variant_field_accepts_registry_names(config):
+    named = Scenario.single("RE", config, variant="optimized")
+    assert named.variant == session_variant("optimized")
+    assert named == Scenario.single("RE", config,
+                                    variant=session_variant("optimized"))
+    assert named.to_dict()["variant"] == session_variant("optimized").to_dict()
+    with pytest.raises(KeyError):
+        Scenario.single("RE", config, variant="overclocked")
+
+
+def test_non_host_jobs_reject_unhonored_scenario_fields(config):
+    from repro.experiments import ExperimentJob
+
+    ExperimentJob(Scenario.single("RE", config, seed_offset=2),
+                  kind="inference")       # defaults are fine
+    for options in ({"machine": "no_contention"}, {"containerized": True},
+                    {"variant": "optimized"}, {"network": "cellular_5g"}):
+        with pytest.raises(ValueError):
+            ExperimentJob(Scenario.single("RE", config, **options),
+                          kind="inference")
+    with pytest.raises(ValueError):
+        ExperimentJob(Scenario(placements=(Placement("RE"),), config=config,
+                               seed=SeedPolicy(offset=0, base=9)),
+                      kind="accuracy")
+
+
+def test_variant_registry_names(config):
+    assert variant_name(SessionVariant()) == "default"
+    assert variant_name(session_variant("native")) == "native"
+    assert variant_name(SessionVariant(measurement_enabled=False,
+                                       slow_motion=True)) is None
+    assert session_variant("optimized").memoize_window_attributes
+    assert session_variant("optimized").two_step_frame_copy
+
+
+# -- execution equivalence ------------------------------------------------------------
+def test_deprecated_shims_match_scenario_run_bit_identically(config):
+    with pytest.deprecated_call():
+        legacy_single = run_single("RE", config, seed_offset=4)
+    modern_single = Scenario.single("RE", config, seed_offset=4).run()
+    assert legacy_single.as_dict() == modern_single.as_dict()
+
+    with pytest.deprecated_call():
+        legacy_pair = run_mixed_pair("RE", "ITP", config, seed_offset=2)
+    modern_pair = Scenario.mixed(("RE", "ITP"), config, seed_offset=2).run()
+    assert legacy_pair.as_dict() == modern_pair.as_dict()
+
+    with pytest.deprecated_call():
+        legacy_colocated = run_colocated("RE", 2, config, seed_offset=3,
+                                         containerized=True)
+    modern_colocated = Scenario.colocated("RE", 2, config, seed_offset=3,
+                                          containerized=True).run()
+    assert legacy_colocated.as_dict() == modern_colocated.as_dict()
+
+
+def test_three_way_mix_runs_end_to_end(config):
+    result = Scenario.mixed(("RE", "ITP", "D2"), config).run()
+    assert [r.benchmark for r in result.reports] == ["RE", "ITP", "D2"]
+    assert all(r.client_fps > 0 for r in result.reports)
+
+
+def test_n_way_mixes_generator(config):
+    narrowed = config.with_benchmarks(["RE", "ITP", "D2", "STK"])
+    scenarios = n_way_mixes(narrowed)
+    # C(4,3) + C(4,4) = 5 mixes, each with distinct seed offsets.
+    assert len(scenarios) == 5
+    assert sorted(len(s.benchmarks) for s in scenarios) == [3, 3, 3, 3, 4]
+    assert len({s.seed.offset for s in scenarios}) == 5
+    assert len({s.content_hash() for s in scenarios}) == 5
+    with pytest.raises(ValueError):
+        n_way_mixes(narrowed, sizes=(1,))
