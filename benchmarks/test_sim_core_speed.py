@@ -1,0 +1,363 @@
+"""Micro-benchmark of the discrete-event simulation kernel.
+
+Measures raw kernel throughput (processed+scheduled events per second of
+CPU time) on five steady-state workloads chosen to cover the kernel's
+code paths in roughly the proportions real scenario runs exhibit (a
+smoke scenario schedules ~47% of its events at zero delay):
+
+``timeout_ring``
+    100 processes each re-arming a positive-delay timeout — the pure
+    heap path.
+``pipeline``
+    Store hand-offs plus pacing timeouts (producer/consumer chains, ~2/3
+    zero-delay) — the application→proxy queue shape.
+``contention``
+    50 workers contending for a capacity-4 resource — grant/release plus
+    hold/backoff timeouts.
+``cascade``
+    A token ring over bare events — succeed-driven process wake chains.
+``burst``
+    A coordinator waking 400 armed waiters per round — barrier-release /
+    frame fan-out storms of zero-delay events.
+
+The committed reference numbers live in ``benchmarks/BENCH_sim_core.json``:
+
+* ``baseline`` — the pre-rewrite (seed) kernel, recorded once and kept
+  as the anchor the tentpole speedup is measured against;
+* ``current`` — the present kernel, re-recorded when the kernel changes.
+
+Because absolute events/sec are machine-dependent, every recorded block
+also stores a *calibration* score (a fixed pure-Python workload measured
+on the recording machine) and comparisons use calibration-normalized
+throughput, so the regression gate transfers across machines.
+
+Run / record::
+
+    python -m pytest benchmarks/test_sim_core_speed.py -q         # check
+    python benchmarks/test_sim_core_speed.py --record current     # re-record
+    python benchmarks/test_sim_core_speed.py --record baseline    # anchor (rare!)
+
+Environment knobs: ``PICTOR_SIM_BENCH_REPS`` (best-of repetitions,
+default 3), ``PICTOR_SIM_SPEEDUP_MIN`` (minimum accepted normalized
+speedup of ``current`` over ``baseline``, default 1.5).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from heapq import heappush, heappop
+from pathlib import Path
+
+from repro.sim.engine import Environment
+from repro.sim.resources import Resource, Store
+
+BENCH_FILE = Path(__file__).with_name("BENCH_sim_core.json")
+BENCH_SCHEMA = 1
+
+#: Fail the regression gate when current throughput drops below this
+#: fraction of the recorded reference (the ISSUE's >30% rule).
+REGRESSION_FLOOR = 0.70
+
+
+# --------------------------------------------------------------------------
+# workloads
+# --------------------------------------------------------------------------
+
+def timeout_ring(env: Environment) -> None:
+    def proc(env, delay):
+        timeout = env.timeout
+        while True:
+            yield timeout(delay)
+
+    for i in range(100):
+        env.process(proc(env, 0.001 + i * 1e-6))
+    env.run(until=0.6)
+
+
+def pipeline(env: Environment) -> None:
+    def producer(env, store, delay):
+        timeout = env.timeout
+        item = 0
+        while True:
+            yield store.put(item)
+            item += 1
+            yield timeout(delay)
+
+    def consumer(env, store):
+        while True:
+            yield store.get()
+
+    for i in range(20):
+        store = Store(env, capacity=8)
+        env.process(producer(env, store, 0.0007 + i * 1e-5))
+        env.process(consumer(env, store))
+    env.run(until=0.8)
+
+
+def contention(env: Environment) -> None:
+    def worker(env, resource, delay):
+        timeout = env.timeout
+        while True:
+            with resource.request() as req:
+                yield req
+                yield timeout(delay)
+            yield timeout(delay * 0.5)
+
+    resource = Resource(env, capacity=4)
+    for i in range(50):
+        env.process(worker(env, resource, 0.001 + i * 1e-5))
+    env.run(until=0.8)
+
+
+def cascade(env: Environment) -> None:
+    n, rounds = 50, 1200
+    events = [env.event() for _ in range(n)]
+
+    def hop(env, idx):
+        while True:
+            value = yield events[idx]
+            events[idx] = env.event()
+            if idx == 0 and value >= rounds:
+                return value
+            events[(idx + 1) % n].succeed(value + 1)
+
+    procs = [env.process(hop(env, i)) for i in range(n)]
+    events[0].succeed(0)
+    env.run(until=procs[0])
+
+
+def burst(env: Environment) -> None:
+    n = 400
+    inboxes = [env.event() for _ in range(n)]
+
+    def waiter(env, i):
+        while True:
+            yield inboxes[i]
+            inboxes[i] = env.event()
+
+    for i in range(n):
+        env.process(waiter(env, i))
+
+    def coordinator(env):
+        timeout = env.timeout
+        while True:
+            yield timeout(0.005)
+            for event in list(inboxes):
+                event.succeed()
+
+    env.process(coordinator(env))
+    env.run(until=0.6)
+
+
+WORKLOADS = {
+    "timeout_ring": timeout_ring,
+    "pipeline": pipeline,
+    "contention": contention,
+    "cascade": cascade,
+    "burst": burst,
+}
+
+
+# --------------------------------------------------------------------------
+# measurement
+# --------------------------------------------------------------------------
+
+def _reps() -> int:
+    import os
+    return max(1, int(os.environ.get("PICTOR_SIM_BENCH_REPS", "3")))
+
+
+def measure_workload(name: str, reps: int | None = None) -> float:
+    """Best-of-N events/sec (CPU time) for one workload."""
+    fn = WORKLOADS[name]
+    best = 0.0
+    for _ in range(reps if reps is not None else _reps()):
+        env = Environment()
+        started = time.process_time()
+        fn(env)
+        elapsed = time.process_time() - started
+        if elapsed > 0:
+            best = max(best, env._eid / elapsed)
+    return best
+
+
+def calibrate(reps: int = 3) -> float:
+    """Machine-speed yardstick: a fixed pure-Python ops/sec measurement.
+
+    Mixes the primitive operations the kernel is built from (heap ops,
+    slotted-object construction, generator resumption) but touches no
+    repro code, so it moves with interpreter/machine speed rather than
+    with kernel changes.
+    """
+    class Slot:
+        __slots__ = ("a", "b")
+
+    def gen():
+        while True:
+            yield None
+
+    count = 60_000
+    best = 0.0
+    for _ in range(reps):
+        generator = gen()
+        send = generator.send
+        next(generator)
+        heap: list = []
+        started = time.process_time()
+        for i in range(count):
+            obj = Slot()
+            obj.a = i
+            obj.b = float(i)
+            heappush(heap, (obj.b, i))
+            if len(heap) > 64:
+                heappop(heap)
+            send(None)
+        elapsed = time.process_time() - started
+        if elapsed > 0:
+            best = max(best, count / elapsed)
+    return best
+
+
+def measure_all() -> dict:
+    rates = {name: measure_workload(name) for name in WORKLOADS}
+    geomean = 1.0
+    for value in rates.values():
+        geomean *= value
+    geomean **= 1.0 / len(rates)
+    return {
+        "calibration_ops_per_sec": calibrate(),
+        "events_per_sec": rates,
+        "geomean_events_per_sec": geomean,
+    }
+
+
+def _normalized(block: dict) -> dict[str, float]:
+    calibration = block["calibration_ops_per_sec"]
+    return {name: rate / calibration
+            for name, rate in block["events_per_sec"].items()}
+
+
+def _geomean(values) -> float:
+    values = list(values)
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def load_bench_file() -> dict:
+    if not BENCH_FILE.exists():
+        raise FileNotFoundError(
+            f"{BENCH_FILE} missing; record it with "
+            f"`python benchmarks/test_sim_core_speed.py --record baseline`")
+    data = json.loads(BENCH_FILE.read_text())
+    if data.get("schema") != BENCH_SCHEMA:
+        raise ValueError(f"unexpected BENCH_sim_core.json schema: "
+                         f"{data.get('schema')!r}")
+    return data
+
+
+# --------------------------------------------------------------------------
+# pytest entry points
+# --------------------------------------------------------------------------
+
+def test_sim_core_speed_regression():
+    """Live kernel throughput must stay within 30% of the recorded kernel.
+
+    Compares calibration-normalized geomeans against the newest recorded
+    block (``current`` once the optimized kernel is recorded, else
+    ``baseline``), so the gate transfers across machines.
+    """
+    data = load_bench_file()
+    reference = data.get("current") or data["baseline"]
+    live = measure_all()
+
+    reference_norm = _geomean(_normalized(reference).values())
+    live_norm = _geomean(_normalized(live).values())
+    ratio = live_norm / reference_norm
+
+    print("\nsim-core throughput (events/sec, best of "
+          f"{_reps()} CPU-time reps):")
+    reference_rates = reference["events_per_sec"]
+    for name, rate in live["events_per_sec"].items():
+        print(f"  {name:>14}: {rate:>12,.0f}  (recorded {reference_rates[name]:,.0f})")
+    print(f"  normalized geomean vs recorded: {ratio:.2f}x")
+
+    assert ratio >= REGRESSION_FLOOR, (
+        f"sim core regressed: normalized throughput is {ratio:.2f}x the "
+        f"recorded reference (floor {REGRESSION_FLOOR}); if a slowdown is "
+        f"intentional, re-record with "
+        f"`python benchmarks/test_sim_core_speed.py --record current`")
+
+
+def test_sim_core_speedup_vs_baseline():
+    """The optimized kernel must beat the seed baseline decisively.
+
+    Skipped until a ``current`` block is recorded (i.e. before the kernel
+    rewrite lands).  The committed JSON documents the exact recorded
+    speedup; this live assertion uses a cross-machine safety floor
+    (``PICTOR_SIM_SPEEDUP_MIN``, default 1.5) under the recorded >=2x.
+    """
+    import os
+
+    import pytest
+
+    data = load_bench_file()
+    if "current" not in data:
+        pytest.skip("kernel rewrite not recorded yet (no 'current' block)")
+
+    live = measure_all()
+    baseline_norm = _geomean(_normalized(data["baseline"]).values())
+    live_norm = _geomean(_normalized(live).values())
+    speedup = live_norm / baseline_norm
+
+    recorded = data["current"].get("geomean_speedup_vs_baseline")
+    print(f"\nsim-core speedup vs committed baseline: live {speedup:.2f}x "
+          f"(recorded {recorded:.2f}x)" if recorded else
+          f"\nsim-core speedup vs committed baseline: live {speedup:.2f}x")
+
+    minimum = float(os.environ.get("PICTOR_SIM_SPEEDUP_MIN", "1.5"))
+    assert speedup >= minimum, (
+        f"kernel speedup vs baseline is {speedup:.2f}x, expected >= "
+        f"{minimum}x (recorded {recorded}x)")
+
+
+# --------------------------------------------------------------------------
+# recording CLI
+# --------------------------------------------------------------------------
+
+def _record(which: str) -> None:
+    if which not in ("baseline", "current"):
+        raise SystemExit(f"--record takes 'baseline' or 'current', got {which!r}")
+    data = {"schema": BENCH_SCHEMA}
+    if BENCH_FILE.exists():
+        data = json.loads(BENCH_FILE.read_text())
+
+    block = measure_all()
+    if which == "current" and "baseline" in data:
+        baseline_norm = _normalized(data["baseline"])
+        current_norm = _normalized(block)
+        block["speedup_vs_baseline"] = {
+            name: round(current_norm[name] / baseline_norm[name], 3)
+            for name in current_norm}
+        block["geomean_speedup_vs_baseline"] = round(
+            _geomean(current_norm.values()) / _geomean(baseline_norm.values()), 3)
+    data[which] = block
+    data["schema"] = BENCH_SCHEMA
+
+    BENCH_FILE.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    print(f"recorded {which} block to {BENCH_FILE}")
+    for name, rate in block["events_per_sec"].items():
+        print(f"  {name:>14}: {rate:,.0f} events/s")
+    if "geomean_speedup_vs_baseline" in block:
+        print(f"  geomean speedup vs baseline: "
+              f"{block['geomean_speedup_vs_baseline']:.2f}x")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) == 3 and sys.argv[1] == "--record":
+        _record(sys.argv[2])
+    else:
+        raise SystemExit(__doc__)

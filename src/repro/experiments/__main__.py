@@ -117,6 +117,24 @@ def build_parser() -> argparse.ArgumentParser:
                           help="spec file path, inline JSON, or A+B+C mix")
     _add_execution_options(scenario, suppress_defaults=True)
     _add_config_options(scenario, suppress_defaults=True)
+
+    trace = subcommands.add_parser(
+        "trace",
+        help="check (default) or re-record the golden kernel traces",
+        description="Re-run every registered golden scenario under the "
+                    "trace recorder and compare byte-for-byte against the "
+                    "committed files in tests/golden/.  Without --update "
+                    "this only checks (exit 1 on any mismatch) so CI can "
+                    "never rewrite goldens silently; pass --update after "
+                    "an intentional semantic change to re-record.")
+    trace.add_argument("--update", action="store_true",
+                       help="re-record and overwrite the golden files "
+                            "(explicit opt-in)")
+    trace.add_argument("--golden-dir", default=None, metavar="DIR",
+                       help="override the golden directory (default: "
+                            "tests/golden)")
+    trace.add_argument("--list", action="store_true", dest="list_goldens",
+                       help="list the registered golden scenarios and exit")
     return parser
 
 
@@ -182,11 +200,51 @@ def _run_scenarios(args) -> int:
     return 0
 
 
+def _run_trace(args) -> int:
+    from repro.experiments.goldens import (
+        check_goldens,
+        golden_registry,
+        update_goldens,
+    )
+    golden_dir = Path(args.golden_dir) if args.golden_dir else None
+
+    if args.list_goldens:
+        rows = [{"golden": name,
+                 "scenario": spec.scenario.describe(),
+                 "hash": spec.scenario.short_hash(),
+                 "duration_s": spec.duration}
+                for name, spec in golden_registry().items()]
+        print(format_rows(rows, title="Registered golden traces"))
+        return 0
+
+    if args.update:
+        results = update_goldens(golden_dir)
+        for name, status in sorted(results.items()):
+            print(f"{name}: {status}")
+        return 0
+
+    results = check_goldens(golden_dir)
+    failed = False
+    for name, status in sorted(results.items()):
+        print(f"{name}: {status}")
+        if status != "ok":
+            failed = True
+    if failed:
+        print("golden traces diverged; if the change is an intentional "
+              "semantic change, re-record with "
+              "`python -m repro.experiments trace --update`",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
     if getattr(args, "command", None) == "scenario":
         return _run_scenarios(args)
+    if getattr(args, "command", None) == "trace":
+        return _run_trace(args)
 
     if args.list_figures:
         rows = [{"figure": name, "title": spec.title}

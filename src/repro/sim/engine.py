@@ -130,9 +130,17 @@ class Event:
         return self
 
     def trigger(self, event: "Event") -> None:
-        """Trigger this event with the state of another (for chaining)."""
-        if event._ok:
+        """Trigger this event with the state of another (for chaining).
+
+        The source event must itself already be triggered; propagating
+        from a still-pending source is a structural error.
+        """
+        ok = event._ok
+        if ok:
             self.succeed(event._value)
+        elif ok is None:
+            raise SimulationError(
+                f"cannot trigger {self!r} from {event!r}, which is still pending")
         else:
             self.defuse_source(event)
             self.fail(event._value)
@@ -140,6 +148,17 @@ class Event:
     @staticmethod
     def defuse_source(event: "Event") -> None:
         event._defused = True
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Attach ``callback`` to run when this event is processed.
+
+        The supported way to observe an event from outside the engine —
+        the concrete type behind ``callbacks`` is an implementation
+        detail of the kernel.
+        """
+        if self.callbacks is None:
+            raise SimulationError(f"{self!r} has already been processed")
+        self.callbacks.append(callback)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "pending"
@@ -169,6 +188,7 @@ class Initialize(Event):
         self.callbacks.append(process._resume)
         self._ok = True
         self._value = None
+        self.process = process
         env._schedule(self, priority=Environment.PRIORITY_URGENT)
 
 
@@ -187,6 +207,7 @@ class Process(Event):
         super().__init__(env)
         self._generator = generator
         self._target: Optional[Event] = None
+        env._pid = self._pid = env._pid + 1
         Initialize(env, self)
 
     @property
@@ -334,7 +355,11 @@ class Environment:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = 0
+        self._pid = 0
         self._active_process: Optional[Process] = None
+        # Optional ``tracer(now, event)`` hook observed by step(); install
+        # it (see repro.sim.trace.TraceRecorder) *before* running.
+        self._tracer: Optional[Callable[[float, Event], None]] = None
 
     # -- clock ------------------------------------------------------------
     @property
@@ -380,6 +405,9 @@ class Environment:
             raise SimulationError("nothing left to simulate")
         when, _priority, _eid, event = heapq.heappop(self._queue)
         self._now = when
+        tracer = self._tracer
+        if tracer is not None:
+            tracer(when, event)
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)

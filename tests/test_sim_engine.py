@@ -1,6 +1,8 @@
 """Tests for the discrete-event simulation engine."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.sim.engine import (
     AllOf,
@@ -9,6 +11,7 @@ from repro.sim.engine import (
     SimulationError,
     Timeout,
 )
+from repro.sim.trace import TraceRecorder
 
 
 def test_clock_starts_at_zero():
@@ -230,3 +233,321 @@ def test_run_until_past_time_rejected(env):
     env.run()
     with pytest.raises(SimulationError):
         env.run(until=0.5)
+
+
+# ---------------------------------------------------------------------------
+# Semantics locked in before the kernel rewrite (see ISSUE 3): interrupts
+# racing scheduled events, conditions over settled children, drain/stop
+# interactions, trigger/re-trigger errors, and randomized determinism.
+# ---------------------------------------------------------------------------
+
+
+def test_interrupt_while_target_event_already_scheduled(env):
+    """Interrupt delivery wins over a target that is triggered but not
+    yet processed, and the victim is not resumed twice."""
+    wakes = []
+
+    def victim(env, event):
+        try:
+            yield event
+            wakes.append("value")
+        except Interrupt as interrupt:
+            wakes.append(("interrupt", interrupt.cause))
+        yield env.timeout(5.0)
+        wakes.append("after")
+
+    event = env.event()
+
+    def interrupter(env, process, event):
+        yield env.timeout(1.0)
+        # Trigger the target first: it is now scheduled, with the victim
+        # still in its callbacks.  The urgent interruption must still be
+        # delivered first, and must detach the victim from the event.
+        event.succeed("late")
+        process.interrupt(cause="preempted")
+
+    process = env.process(victim(env, event))
+    env.process(interrupter(env, process, event))
+    env.run()
+    assert wakes == [("interrupt", "preempted"), "after"]
+
+
+def test_interrupt_detaches_from_pending_timeout(env):
+    """The interrupted wait's original timeout fires later without
+    resuming the victim a second time."""
+    wakes = []
+
+    def victim(env):
+        yield env.timeout(1.0)
+        wakes.append("timeout")
+        try:
+            yield env.timeout(3.0)      # would fire at t=4
+            wakes.append("unreachable")
+        except Interrupt:
+            wakes.append("interrupt")
+            yield env.timeout(1.0)
+            wakes.append("after-interrupt")
+
+    def interrupter(env, process):
+        yield env.timeout(2.0)
+        process.interrupt()
+
+    process = env.process(victim(env))
+    env.process(interrupter(env, process))
+    env.run()                            # runs past t=4: detached timeout fires
+    assert wakes == ["timeout", "interrupt", "after-interrupt"]
+
+
+def test_all_of_from_already_processed_children(env):
+    t1 = env.timeout(1.0, value="a")
+    t2 = env.timeout(2.0, value="b")
+    env.run()
+    assert t1.processed and t2.processed
+
+    condition = env.all_of([t1, t2])
+    assert condition.triggered
+    result = env.run(until=condition)
+    assert sorted(result.values()) == ["a", "b"]
+
+
+def test_any_of_from_already_processed_child(env):
+    t1 = env.timeout(1.0, value="first")
+    env.run()
+    condition = env.any_of([t1, env.timeout(9.0)])
+    assert condition.triggered
+    assert list(env.run(until=condition).values()) == ["first"]
+
+
+def test_all_of_with_already_failed_child(env):
+    failed = env.event()
+    failed.fail(ValueError("dead child"))
+    failed.defuse_source(failed)
+    env.run()
+    assert failed.processed and not failed.ok
+
+    caught = []
+
+    def waiter(env, condition):
+        try:
+            yield condition
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    condition = env.all_of([failed, env.timeout(5.0)])
+    env.process(waiter(env, condition))
+    env.run()
+    assert caught == ["dead child"]
+
+
+def test_any_of_with_pending_child_failing_later(env):
+    caught = []
+
+    def failer(env, event):
+        yield env.timeout(1.0)
+        event.fail(RuntimeError("boom"))
+
+    def waiter(env, condition):
+        try:
+            yield condition
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    event = env.event()
+    condition = env.any_of([event, env.timeout(10.0)])
+    env.process(failer(env, event))
+    env.process(waiter(env, condition))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_run_until_event_raises_when_queue_drains(env):
+    never = env.event()
+
+    def quick(env):
+        yield env.timeout(1.0)
+
+    env.process(quick(env))
+    with pytest.raises(SimulationError, match="drained"):
+        env.run(until=never)
+
+
+def test_run_until_failed_stop_event_raises_its_error(env):
+    def broken(env):
+        yield env.timeout(1.0)
+        raise KeyError("inner")
+
+    process = env.process(broken(env))
+    with pytest.raises(KeyError):
+        env.run(until=process)
+
+
+def test_trigger_from_pending_source_raises(env):
+    source = env.event()
+    target = env.event()
+    with pytest.raises(SimulationError, match="still pending"):
+        target.trigger(source)
+    # Nothing was scheduled; both events are still pending.
+    assert not source.triggered and not target.triggered
+
+
+def test_trigger_propagates_success_and_failure(env):
+    ok_source = env.event().succeed(13)
+    ok_target = env.event()
+    ok_target.trigger(ok_source)
+    assert ok_target.triggered and ok_target._value == 13
+
+    bad_source = env.event().fail(ValueError("nope"))
+    bad_target = env.event()
+    bad_target.trigger(bad_source)
+    bad_target.defuse_source(bad_target)
+    assert bad_source._defused        # trigger defuses the source
+    assert not bad_target.ok
+    env.run()
+
+
+def test_retrigger_paths_raise(env):
+    event = env.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+    with pytest.raises(SimulationError):
+        event.fail(ValueError("late"))
+    with pytest.raises(SimulationError):
+        env.event().fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_value_unavailable_until_triggered(env):
+    event = env.event()
+    with pytest.raises(SimulationError):
+        _ = event.value
+    event.succeed("v")
+    assert event.value == "v"
+
+
+def test_add_callback_runs_and_rejects_processed(env):
+    seen = []
+    event = env.event()
+    event.add_callback(lambda ev: seen.append(ev.value))
+    event.succeed(7)
+    env.run()
+    assert seen == [7]
+    with pytest.raises(SimulationError):
+        event.add_callback(lambda ev: None)
+
+
+def test_same_time_ordering_mixes_delayed_and_immediate(env):
+    """FIFO-by-schedule-id holds when delayed events land at the same
+    instant an immediate (zero-delay) event is created."""
+    order = []
+
+    def early(env):
+        yield env.timeout(1.0)          # scheduled at t=0
+        order.append("early")
+        yield env.timeout(0.0)          # immediate, but scheduled later
+        order.append("early-immediate")
+
+    def late(env):
+        yield env.timeout(0.5)
+        yield env.timeout(0.5)          # lands at t=1.0, scheduled at t=0.5
+        order.append("late")
+
+    env.process(early(env))
+    env.process(late(env))
+    env.run()
+    assert order == ["early", "late", "early-immediate"]
+
+
+def test_zero_delay_timeouts_are_fifo_with_succeeded_events(env):
+    order = []
+
+    def a(env):
+        yield env.timeout(0.0)
+        order.append("a")
+
+    def b(env, event):
+        yield event
+        order.append("b")
+
+    def c(env):
+        yield env.timeout(0.0)
+        order.append("c")
+
+    env.process(a(env))
+    event = env.event()
+    env.process(b(env, event))
+    event.succeed()
+    env.process(c(env))
+    env.run()
+    # The pre-run succeed is scheduled before a's and c's zero-delay
+    # timeouts, which are only created once their processes start.
+    assert order == ["b", "a", "c"]
+
+
+# ---------------------------------------------------------------------------
+# Randomized property tests: determinism and step()/run() equivalence.
+# ---------------------------------------------------------------------------
+
+_DELAYS = st.lists(
+    st.lists(st.one_of(st.just(0.0),
+                       st.floats(min_value=0.001, max_value=2.0,
+                                 allow_nan=False, allow_infinity=False)),
+             min_size=1, max_size=6),
+    min_size=1, max_size=8)
+
+
+def _random_workload(env, spec):
+    def proc(env, delays, index):
+        for delay in delays:
+            yield env.timeout(delay, value=index)
+        if index % 3 == 0:
+            child = env.timeout(0.25)
+            yield env.all_of([child, env.timeout(0.0)])
+        return index
+
+    for index, delays in enumerate(spec):
+        env.process(proc(env, delays, index))
+
+
+def _trace_with_run(spec):
+    env = Environment()
+    recorder = TraceRecorder(env)
+    _random_workload(env, spec)
+    env.run()
+    return recorder.entries
+
+
+def _trace_with_step(spec):
+    env = Environment()
+    recorder = TraceRecorder(env)
+    _random_workload(env, spec)
+    while env.peek() != float("inf"):
+        env.step()
+    return recorder.entries
+
+
+@settings(max_examples=25, deadline=None)
+@given(spec=_DELAYS)
+def test_random_workloads_are_deterministic(spec):
+    first = _trace_with_run(spec)
+    second = _trace_with_run(spec)
+    assert first == second
+    assert first  # something actually ran
+
+
+@settings(max_examples=25, deadline=None)
+@given(spec=_DELAYS)
+def test_step_and_run_produce_identical_traces(spec):
+    assert _trace_with_run(spec) == _trace_with_step(spec)
+
+
+@settings(max_examples=20, deadline=None)
+@given(spec=_DELAYS, horizon=st.floats(min_value=0.1, max_value=5.0))
+def test_clock_is_monotonic_and_bounded(spec, horizon):
+    env = Environment()
+    _random_workload(env, spec)
+    observed = []
+    env._tracer = lambda now, event: observed.append(now)
+    env.run(until=horizon)
+    assert env.now == horizon
+    assert all(t1 <= t2 for t1, t2 in zip(observed, observed[1:]))
+    assert all(0.0 <= t <= horizon for t in observed)

@@ -1,0 +1,149 @@
+"""Golden-trace regression tests for the simulation kernel.
+
+These tests are the machine-checked equivalence guarantee behind any
+kernel rewrite: the committed traces under ``tests/golden/`` were
+recorded from real scenario runs, and every future kernel must reproduce
+them byte for byte — in this process, and in worker processes (the
+parallel executor backend).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.experiments.goldens import (
+    golden_path,
+    golden_registry,
+    record_golden,
+)
+from repro.sim.engine import Environment, SimulationError
+from repro.sim.trace import TraceRecorder, event_pid, value_digest
+
+GOLDEN_NAMES = sorted(golden_registry())
+
+
+# ---------------------------------------------------------------------------
+# TraceRecorder unit behavior
+# ---------------------------------------------------------------------------
+
+def test_recorder_captures_every_processed_event(env):
+    recorder = TraceRecorder(env)
+
+    def proc(env):
+        yield env.timeout(1.0)
+        yield env.timeout(2.0)
+
+    env.process(proc(env))
+    env.run()
+    # Initialize + two timeouts + process termination.
+    assert len(recorder) == 4
+    kinds = [line.split()[2] for line in recorder.entries]
+    assert kinds == ["Initialize", "Timeout", "Timeout", "Process"]
+    sequences = [int(line.split()[0]) for line in recorder.entries]
+    assert sequences == [1, 2, 3, 4]
+
+
+def test_recorder_is_exclusive_and_detachable(env):
+    recorder = TraceRecorder(env)
+    with pytest.raises(SimulationError):
+        TraceRecorder(env)
+    recorder.close()
+    TraceRecorder(env)  # free again after close
+
+
+def test_recorder_text_and_header(env):
+    recorder = TraceRecorder(env)
+    env.timeout(1.0)
+    env.run()
+    text = recorder.text(header="unit-test")
+    first, *rest = text.splitlines()
+    assert first.startswith("# pictor-trace v1 unit-test")
+    assert len(rest) == 1
+
+
+def test_value_digest_is_stable_and_content_based():
+    assert value_digest(None) == value_digest(None)
+    assert value_digest(1.5) != value_digest(1.25)
+    assert value_digest([1, "a"]) != value_digest([1, "b"])
+    assert value_digest({"k": (1, 2)}) == value_digest({"k": (1, 2)})
+    assert value_digest(ValueError("x")) == value_digest(ValueError("x"))
+    assert value_digest(ValueError("x")) != value_digest(KeyError("x"))
+
+    class Opaque:
+        pass
+
+    # Identity (memory address) must not leak into the digest.
+    assert value_digest(Opaque()) == value_digest(Opaque())
+
+
+def test_event_pid_resolution(env):
+    def proc(env):
+        yield env.timeout(1.0)
+
+    process = env.process(proc(env))
+    assert event_pid(process) == 1
+    assert event_pid(env.timeout(0.5)) is None
+
+
+def test_identical_runs_trace_identically():
+    def run_once():
+        env = Environment()
+        recorder = TraceRecorder(env)
+
+        def proc(env, delay):
+            for _ in range(3):
+                yield env.timeout(delay)
+
+        for i in range(5):
+            env.process(proc(env, 0.1 + i * 0.01))
+        env.run()
+        return recorder.text()
+
+    assert run_once() == run_once()
+
+
+# ---------------------------------------------------------------------------
+# Golden scenario traces
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", GOLDEN_NAMES)
+def test_golden_trace_matches_committed(name):
+    """The live kernel reproduces every committed golden byte-for-byte."""
+    path = golden_path(name)
+    assert path.exists(), (
+        f"golden {name} missing; record with "
+        f"`python -m repro.experiments trace --update`")
+    committed = path.read_text()
+    recorded = record_golden(name)
+    assert recorded == committed, (
+        f"golden trace {name} diverged from the committed file; if this "
+        f"is an intentional semantic change re-record with "
+        f"`python -m repro.experiments trace --update`")
+
+
+def test_golden_traces_identical_across_process_backends():
+    """Serial (in-process) and worker-process recordings are identical.
+
+    This is the executor-backend half of the determinism contract: the
+    parallel experiment backend ships scenarios to worker processes, and
+    those workers must replay the exact event sequence the serial path
+    produces.
+    """
+    names = GOLDEN_NAMES[:2]
+    serial = {name: record_golden(name) for name in names}
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        parallel = dict(zip(names, pool.map(record_golden, names)))
+    assert parallel == serial
+    for name in names:
+        assert serial[name] == golden_path(name).read_text()
+
+
+def test_goldens_cover_the_registered_scenarios():
+    registry = golden_registry()
+    assert set(registry) == {"single-re", "mix3-0", "mix3-1"}
+    # mix3-1 exercises the optimized variant and a 4-way mix; single-re
+    # is the single-app anchor.
+    assert len(registry["mix3-1"].scenario.benchmarks) == 4
+    assert registry["single-re"].scenario.benchmarks == ("RE",)
