@@ -28,7 +28,6 @@ from pathlib import Path
 
 from repro.scenarios.config import ExperimentConfig
 from repro.scenarios.scenario import Scenario
-from repro.sim.trace import TraceRecorder
 
 __all__ = [
     "GOLDEN_DIR",
@@ -96,7 +95,7 @@ def record_golden(name: str) -> str:
     """
     spec = golden_registry()[name]
     host = spec.scenario.build_host()
-    recorder = TraceRecorder(host.env)
+    recorder = host.attach_tracer()
     host.run(duration=spec.duration, warmup=spec.warmup)
     recorder.close()
     header = (f"golden={spec.name} scenario={spec.scenario.short_hash()} "

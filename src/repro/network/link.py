@@ -69,6 +69,10 @@ class NetworkLink:
         self.rng = rng or StreamRandom(0)
         self.name = name
         self._directions = {self.UPLINK: _Direction(), self.DOWNLINK: _Direction()}
+        # Hot-path caches: transmit() runs per message, and the frozen
+        # dataclass recomputes these on every property access.
+        self._bandwidth_bytes_per_s = self.spec.bandwidth_bytes_per_s
+        self._base_latency_s = self.spec.base_latency_ms * 1e-3
 
     # -- transmission -----------------------------------------------------------
     def transmit(self, message: Message, direction: str):
@@ -80,9 +84,9 @@ class NetworkLink:
         state.active_transfers += 1
         try:
             share = max(1, state.active_transfers)
-            effective_bw = self.spec.bandwidth_bytes_per_s / share
+            effective_bw = self._bandwidth_bytes_per_s / share
             serialization = wire_bytes / effective_bw
-            latency = self.rng.jitter(self.spec.base_latency_ms * 1e-3,
+            latency = self.rng.jitter(self._base_latency_s,
                                       self.spec.jitter_fraction)
             yield self.env.timeout(latency + serialization)
         finally:

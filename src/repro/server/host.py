@@ -145,6 +145,17 @@ class CloudHost:
         self.agents.append(agent)
         return session
 
+    # -- tracing ------------------------------------------------------------------------
+    def attach_tracer(self):
+        """Attach and return a :class:`~repro.sim.trace.TraceRecorder`.
+
+        Must be called before :meth:`run`; the recorder then captures the
+        host's full processed-event sequence (the golden-trace subsystem
+        uses this to prove kernel equivalence on real testbed runs).
+        """
+        from repro.sim.trace import TraceRecorder
+        return TraceRecorder(self.env)
+
     # -- running ------------------------------------------------------------------------
     def run(self, duration: float, warmup: float = 2.0) -> HostResult:
         """Run every instance for ``warmup + duration`` simulated seconds.

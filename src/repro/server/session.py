@@ -99,6 +99,10 @@ class RenderingSession:
             pictor = Pictor(pictor.config.disabled())
         self.instrumentation: SessionInstrumentation = pictor.instrument_session(
             client_index=client_index)
+        # Cached for the per-frame hot paths below: the instrumentation's
+        # enabled flag is fixed at construction time, and the property
+        # chain it hides behind is measurable at frame rates.
+        self.measurement_enabled: bool = self.instrumentation.enabled
 
         # --- memory registration ----------------------------------------------
         working_set = profile.working_set_mb
@@ -194,10 +198,6 @@ class RenderingSession:
     @property
     def client_fps(self) -> FpsCounter:
         return self.client.client_fps
-
-    @property
-    def measurement_enabled(self) -> bool:
-        return self.instrumentation.enabled
 
     def per_instance_pcie_to_gpu_bytes(self, elapsed: float) -> float:
         return self.pcie_to_gpu_bytes / max(elapsed, 1e-9)

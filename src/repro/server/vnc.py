@@ -185,7 +185,7 @@ class VncServer:
         rate exceeds the compression rate (exactly what happens once the
         Section-6 optimizations raise the server FPS)."""
         while len(queue) > 0:
-            newer = queue.items.pop(0)
+            newer = queue.items.popleft()
             merged = self.frame_tags.setdefault(newer.frame_id, [])
             for tag in self.frame_tags.get(frame.frame_id, ()):  # carry tags forward
                 if tag not in merged:

@@ -4,7 +4,7 @@ The engine is a small, deterministic, generator-based kernel in the style
 of SimPy.  It provides:
 
 ``Environment``
-    Owns the simulation clock and the event heap, schedules events and
+    Owns the simulation clock and the event queues, schedules events and
     steps the simulation forward.
 
 ``Event``
@@ -25,12 +25,43 @@ of SimPy.  It provides:
 The engine is deliberately strict: scheduling into the past, running a
 non-generator as a process, or yielding a non-event raise
 ``SimulationError`` immediately rather than silently corrupting the run.
+
+Implementation notes (the hot path)
+-----------------------------------
+
+This kernel is the innermost loop of every experiment, so the
+implementation trades a little repetition for constant-factor speed while
+keeping the *observable* event order bit-identical to the reference
+semantics — every pending event still fires in ``(time, priority,
+sequence-id)`` order, with sequence ids advancing exactly as through
+:meth:`Environment._schedule`.  The golden traces in ``tests/golden/``
+pin this down against the pre-rewrite kernel.  The tricks:
+
+* every event class declares ``__slots__``;
+* heap entries are flat ``(time, key, event)`` triples where ``key``
+  packs ``(priority, sequence-id)`` into one integer, so tie-breaking
+  never falls through to an extra tuple element;
+* zero-delay events bypass the heap entirely: they are appended to
+  plain FIFO deques (``Environment._fifo`` / ``_urgent``), turning the
+  dominant schedule-now case from O(log n) into O(1);
+* ``callbacks`` avoids list allocation: a fresh event carries a shared
+  empty tuple, a single waiter is stored directly (processes are
+  callable), and only a second waiter materializes a list
+  (``callbacks is None`` still means "processed");
+* a waiting process registers *itself* as the callback (it is callable)
+  rather than materializing a ``_resume`` bound method per wait;
+* ``Timeout`` construction, ``succeed``/``fail`` and process
+  termination inline the scheduling push, and
+  :meth:`Environment.run` inlines both the pop/dispatch loop and the
+  resume step of a single waiting process.
 """
 
 from __future__ import annotations
 
-import heapq
+from collections import deque
 from collections.abc import Generator, Iterable
+from heapq import heappop, heappush
+from math import inf
 from typing import Any, Callable, Optional
 
 __all__ = [
@@ -65,6 +96,21 @@ class Interrupt(Exception):
 # Sentinel distinguishing "not yet decided" from a None value.
 _PENDING = object()
 
+# Shared placeholder for "no callbacks attached yet".  Freshly created
+# events carry this immutable empty tuple instead of allocating a list;
+# a single waiter is then stored directly and only a second waiter
+# materializes a list.  ``callbacks is None`` still (and only) means
+# "processed".
+_NO_CALLBACKS: tuple = ()
+
+# Heap/deque keys pack (priority, sequence-id) into a single integer:
+# ``(priority << _KEY_SHIFT) + eid``.  Urgent events (priority 0) sort
+# before normal ones at the same timestamp, and within a priority FIFO
+# order follows the monotonically increasing id — exactly the ordering
+# of the reference ``(time, priority, eid, event)`` heap tuples.
+_KEY_SHIFT = 53
+_NORMAL_KEY = 1 << _KEY_SHIFT
+
 
 class Event:
     """A one-shot simulation event.
@@ -72,11 +118,17 @@ class Event:
     An event starts *pending*.  Calling :meth:`succeed` or :meth:`fail`
     makes it *triggered*; it is then scheduled and its callbacks run when
     the environment processes it, after which it is *processed*.
+
+    ``callbacks`` is the shared empty tuple until a waiter attaches, a
+    single callable while one waiter is attached, a list once several
+    are, and ``None`` once processed.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, env: "Environment"):
         self.env = env
-        self.callbacks: list[Callable[["Event"], None]] = []
+        self.callbacks = _NO_CALLBACKS
         self._value: Any = _PENDING
         self._ok: Optional[bool] = None
         self._defused = False
@@ -90,7 +142,7 @@ class Event:
     @property
     def processed(self) -> bool:
         """True once callbacks have run."""
-        return self.callbacks is None  # type: ignore[return-value]
+        return self.callbacks is None
 
     @property
     def ok(self) -> bool:
@@ -110,7 +162,9 @@ class Event:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env._schedule(self)
+        env = self.env
+        env._eid = eid = env._eid + 1
+        env._fifo.append((_NORMAL_KEY + eid, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -118,7 +172,7 @@ class Event:
 
         The exception is re-raised in every process waiting on the event.
         If nobody waits, the environment raises it at the end of the step
-        (unless :meth:`defused` was called).
+        (unless :meth:`defuse_source` was called).
         """
         if not isinstance(exception, BaseException):
             raise SimulationError(f"{exception!r} is not an exception")
@@ -126,7 +180,9 @@ class Event:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = False
         self._value = exception
-        self.env._schedule(self)
+        env = self.env
+        env._eid = eid = env._eid + 1
+        env._fifo.append((_NORMAL_KEY + eid, self))
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -142,7 +198,7 @@ class Event:
             raise SimulationError(
                 f"cannot trigger {self!r} from {event!r}, which is still pending")
         else:
-            self.defuse_source(event)
+            event._defused = True
             self.fail(event._value)
 
     @staticmethod
@@ -156,13 +212,19 @@ class Event:
         the concrete type behind ``callbacks`` is an implementation
         detail of the kernel.
         """
-        if self.callbacks is None:
+        callbacks = self.callbacks
+        if callbacks is None:
             raise SimulationError(f"{self!r} has already been processed")
-        self.callbacks.append(callback)
+        if callbacks.__class__ is tuple:
+            self.callbacks = callback
+        elif callbacks.__class__ is list:
+            callbacks.append(callback)
+        else:
+            self.callbacks = [callbacks, callback]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "pending"
-        if self.triggered:
+        if self._value is not _PENDING:
             state = "ok" if self._ok else "failed"
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
@@ -170,42 +232,66 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` time units after it is created."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay!r}")
-        super().__init__(env)
-        self.delay = float(delay)
+        # Dedicated fast path: a timeout is born triggered-successfully,
+        # so the generic Event init + _schedule machinery is bypassed.
+        # _defused is left unset: it is only ever read for failed events
+        # and a timeout is born succeeded.
+        self.env = env
+        self.callbacks = _NO_CALLBACKS
         self._ok = True
         self._value = value
-        env._schedule(self, delay=self.delay)
+        self.delay = delay = float(delay)
+        env._eid = eid = env._eid + 1
+        if delay:
+            heappush(env._queue, (env._now + delay, _NORMAL_KEY + eid, self))
+        else:
+            env._fifo.append((_NORMAL_KEY + eid, self))
 
 
 class Initialize(Event):
     """Internal event used to start a newly created process."""
 
+    __slots__ = ("process",)
+
     def __init__(self, env: "Environment", process: "Process"):
-        super().__init__(env)
-        self.callbacks.append(process._resume)
+        self.env = env
+        self.callbacks = process
         self._ok = True
         self._value = None
+        self._defused = False
         self.process = process
-        env._schedule(self, priority=Environment.PRIORITY_URGENT)
+        env._eid = eid = env._eid + 1
+        env._urgent.append((eid, self))
 
 
 class Process(Event):
     """A running process wrapping a generator of events.
 
     The process is itself an event: it succeeds with the generator's return
-    value, or fails with the exception that escaped the generator.
+    value, or fails with the exception that escaped the generator.  It is
+    also its own resume callback (see ``__call__``), so waiting on an
+    event appends the process object instead of a bound method.
     """
+
+    __slots__ = ("_generator", "_send", "_target", "_pid")
 
     def __init__(self, env: "Environment", generator: Generator):
         if not isinstance(generator, Generator):
             raise SimulationError(
                 f"process body must be a generator, got {type(generator).__name__}"
             )
-        super().__init__(env)
+        self.env = env
+        self.callbacks = _NO_CALLBACKS
+        self._value = _PENDING
+        self._ok = None
+        self._defused = False
         self._generator = generator
+        self._send = generator.send
         self._target: Optional[Event] = None
         env._pid = self._pid = env._pid + 1
         Initialize(env, self)
@@ -222,66 +308,86 @@ class Process(Event):
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at its next resume."""
-        if not self.is_alive:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} has terminated and cannot be interrupted")
-        if self is self.env.active_process:
+        if self is self.env._active_process:
             raise SimulationError("a process cannot interrupt itself")
         Interruption(self, cause)
 
     # -- stepping ---------------------------------------------------------
     def _resume(self, event: Event) -> None:
-        self.env._active_process = self
+        # NOTE: Environment.run() inlines this method for the common
+        # single-waiter dispatch; any semantic change here must be
+        # mirrored there (the golden traces will catch divergence).
+        env = self.env
+        env._active_process = self
+        send = self._send
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = send(event._value)
                 else:
                     event._defused = True
-                    exc = event._value
-                    next_event = self._generator.throw(exc)
+                    next_event = self._generator.throw(event._value)
             except StopIteration as stop:
                 self._ok = True
                 self._value = stop.value
-                self.env._schedule(self)
+                env._eid = eid = env._eid + 1
+                env._fifo.append((_NORMAL_KEY + eid, self))
                 break
             except BaseException as exc:
                 self._ok = False
                 self._value = exc
-                self.env._schedule(self)
+                env._eid = eid = env._eid + 1
+                env._fifo.append((_NORMAL_KEY + eid, self))
                 break
 
-            if not isinstance(next_event, Event):
+            if isinstance(next_event, Event):
+                callbacks = next_event.callbacks
+                if callbacks is not None:
+                    # Event still pending or scheduled: wait for it.
+                    if callbacks.__class__ is tuple:
+                        next_event.callbacks = self
+                    elif callbacks.__class__ is list:
+                        callbacks.append(self)
+                    else:
+                        next_event.callbacks = [callbacks, self]
+                    self._target = next_event
+                    break
+                # Event already processed: loop immediately with its value.
+                event = next_event
+            else:
                 exc = SimulationError(
                     f"process yielded a non-event: {next_event!r}"
                 )
-                event = Event(self.env)
+                event = Event(env)
                 event._ok = False
                 event._value = exc
-                continue
 
-            if next_event.callbacks is not None:
-                # Event still pending or scheduled: wait for it.
-                next_event.callbacks.append(self._resume)
-                self._target = next_event
-                break
-            # Event already processed: loop immediately with its value.
-            event = next_event
+        if self._value is not _PENDING:
+            self._target = None
+        env._active_process = None
 
-        self._target = None if not self.is_alive else self._target
-        self.env._active_process = None
+    # A process doubles as its own resume callback, so waiting appends
+    # the process object itself instead of materializing a bound method.
+    __call__ = _resume
 
 
 class Interruption(Event):
     """Helper event that delivers an :class:`Interrupt` to a process."""
 
+    __slots__ = ("process",)
+
     def __init__(self, process: Process, cause: Any):
-        super().__init__(process.env)
-        self.process = process
-        self.callbacks.append(self._deliver)
+        env = process.env
+        self.env = env
+        self.callbacks = self._deliver
         self._ok = False
         self._value = Interrupt(cause)
         self._defused = True
-        self.env._schedule(self, priority=Environment.PRIORITY_URGENT)
+        self.process = process
+        env._eid = eid = env._eid + 1
+        env._urgent.append((eid, self))
 
     def _deliver(self, event: Event) -> None:
         process = self.process
@@ -290,16 +396,22 @@ class Interruption(Event):
         # Detach the process from whatever it is currently waiting on so the
         # original event does not also resume it later.
         target = process._target
-        if target is not None and target.callbacks is not None:
-            try:
-                target.callbacks.remove(process._resume)
-            except ValueError:
-                pass
+        if target is not None:
+            callbacks = target.callbacks
+            if callbacks is process:
+                target.callbacks = _NO_CALLBACKS
+            elif callbacks.__class__ is list:
+                try:
+                    callbacks.remove(process)
+                except ValueError:
+                    pass
         process._resume(self)
 
 
 class ConditionEvent(Event):
     """Base class for :class:`AllOf` and :class:`AnyOf`."""
+
+    __slots__ = ("events", "_completed")
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
@@ -308,24 +420,31 @@ class ConditionEvent(Event):
         if not self.events:
             self.succeed({})
             return
+        on_child = self._on_child
         for event in self.events:
             if event.env is not env:
                 raise SimulationError("cannot mix events from different environments")
-            if event.callbacks is None:
-                self._on_child(event)
+            callbacks = event.callbacks
+            if callbacks is None:
+                on_child(event)
+            elif callbacks.__class__ is tuple:
+                event.callbacks = on_child
+            elif callbacks.__class__ is list:
+                callbacks.append(on_child)
             else:
-                event.callbacks.append(self._on_child)
+                event.callbacks = [callbacks, on_child]
 
     def _on_child(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:
             return
         if not event._ok:
             event._defused = True
             self.fail(event._value)
             return
-        self._completed.append(event)
+        completed = self._completed
+        completed.append(event)
         if self._satisfied():
-            self.succeed({e: e._value for e in self._completed})
+            self.succeed({e: e._value for e in completed})
 
     def _satisfied(self) -> bool:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -334,6 +453,8 @@ class ConditionEvent(Event):
 class AllOf(ConditionEvent):
     """Succeeds once every child event has succeeded."""
 
+    __slots__ = ()
+
     def _satisfied(self) -> bool:
         return len(self._completed) == len(self.events)
 
@@ -341,24 +462,49 @@ class AllOf(ConditionEvent):
 class AnyOf(ConditionEvent):
     """Succeeds as soon as any child event succeeds."""
 
+    __slots__ = ()
+
     def _satisfied(self) -> bool:
         return len(self._completed) >= 1
 
 
 class Environment:
-    """The simulation environment: clock, event heap, and run loop."""
+    """The simulation environment: clock, event queues, and run loop.
+
+    Scheduling uses three structures, together totally ordered by
+    ``(time, priority, sequence-id)`` exactly as a single heap of
+    ``(time, priority, eid, event)`` tuples would be:
+
+    * ``_queue`` — a heap of ``(time, key, event)`` for events scheduled
+      with a positive delay;
+    * ``_urgent`` / ``_fifo`` — deques of ``(key, event)`` for urgent /
+      normal events scheduled at the *current* time (zero delay).  Ids
+      increase monotonically, so each deque is already sorted and a
+      zero-delay event costs O(1) instead of O(log n).
+
+    Invariants the pop order relies on: nothing can be scheduled into
+    the past, and the clock only advances when both deques are empty —
+    so every deque entry is at the current time and every heap entry is
+    at the current time or later.  Same-time ties are arbitrated purely
+    through the packed keys.
+    """
+
+    __slots__ = ("_now", "_queue", "_fifo", "_urgent", "_eid", "_pid",
+                 "_active_process", "_tracer")
 
     PRIORITY_URGENT = 0
     PRIORITY_NORMAL = 1
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
+        self._queue: list[tuple[float, int, Event]] = []
+        self._fifo: deque[tuple[int, Event]] = deque()
+        self._urgent: deque[tuple[int, Event]] = deque()
         self._eid = 0
         self._pid = 0
         self._active_process: Optional[Process] = None
-        # Optional ``tracer(now, event)`` hook observed by step(); install
-        # it (see repro.sim.trace.TraceRecorder) *before* running.
+        # Optional ``tracer(now, event)`` hook observed by step()/run();
+        # install it (see repro.sim.trace.TraceRecorder) *before* running.
         self._tracer: Optional[Callable[[float, Event], None]] = None
 
     # -- clock ------------------------------------------------------------
@@ -373,10 +519,31 @@ class Environment:
 
     # -- event factories ----------------------------------------------------
     def event(self) -> Event:
-        return Event(self)
+        event = Event.__new__(Event)
+        event.env = self
+        event.callbacks = _NO_CALLBACKS
+        event._value = _PENDING
+        event._ok = None
+        event._defused = False
+        return event
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        return Timeout(self, delay, value)
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        timeout = Timeout.__new__(Timeout)
+        timeout.env = self
+        timeout.callbacks = _NO_CALLBACKS
+        timeout._ok = True
+        timeout._value = value
+        if delay.__class__ is not float:
+            delay = float(delay)
+        timeout.delay = delay
+        self._eid = eid = self._eid + 1
+        if delay:
+            heappush(self._queue, (self._now + delay, _NORMAL_KEY + eid, timeout))
+        else:
+            self._fifo.append((_NORMAL_KEY + eid, timeout))
+        return timeout
 
     def process(self, generator: Generator) -> Process:
         return Process(self, generator)
@@ -392,25 +559,65 @@ class Environment:
                   priority: int = PRIORITY_NORMAL) -> None:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
-        self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        self._eid = eid = self._eid + 1
+        if delay:
+            heappush(self._queue,
+                     (self._now + delay, (priority << _KEY_SHIFT) + eid, event))
+        elif priority == 1:
+            self._fifo.append((_NORMAL_KEY + eid, event))
+        elif priority == 0:
+            self._urgent.append((eid, event))
+        else:
+            # Unusual priorities take the heap at the current time; the
+            # packed key keeps them ordered after urgent/normal peers.
+            heappush(self._queue,
+                     (self._now, (priority << _KEY_SHIFT) + eid, event))
+
+    def _pop_next(self) -> Event:
+        """Remove and return the next event in (time, priority, id) order.
+
+        Advances the clock when the event comes off the heap at a later
+        time.  Callers must ensure at least one event is pending.
+        """
+        queue = self._queue
+        now = self._now
+        urgent = self._urgent
+        if urgent:
+            if queue and queue[0][0] <= now and queue[0][1] < urgent[0][0]:
+                return heappop(queue)[2]
+            return urgent.popleft()[1]
+        fifo = self._fifo
+        if fifo:
+            if queue and queue[0][0] <= now and queue[0][1] < fifo[0][0]:
+                return heappop(queue)[2]
+            return fifo.popleft()[1]
+        when, _key, event = heappop(queue)
+        self._now = when
+        return event
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or +inf if the queue is empty."""
-        return self._queue[0][0] if self._queue else float("inf")
+        """Time of the next scheduled event, or +inf if nothing is pending."""
+        if self._urgent or self._fifo:
+            return self._now
+        queue = self._queue
+        return queue[0][0] if queue else inf
 
     def step(self) -> None:
         """Process the next scheduled event."""
-        if not self._queue:
+        if not (self._urgent or self._fifo or self._queue):
             raise SimulationError("nothing left to simulate")
-        when, _priority, _eid, event = heapq.heappop(self._queue)
-        self._now = when
+        event = self._pop_next()
         tracer = self._tracer
         if tracer is not None:
-            tracer(when, event)
-        callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks:
-            callback(event)
+            tracer(self._now, event)
+        callbacks = event.callbacks
+        event.callbacks = None
+        if callbacks is not None:
+            if callbacks.__class__ is list:
+                for callback in callbacks:
+                    callback(event)
+            elif callbacks.__class__ is not tuple:
+                callbacks(event)
         if not event._ok and not event._defused:
             raise event._value
 
@@ -423,31 +630,123 @@ class Environment:
         """
         stop_event: Optional[Event] = None
         stop_time: Optional[float] = None
+        horizon = inf
         if isinstance(until, Event):
             stop_event = until
         elif until is not None:
-            stop_time = float(until)
+            horizon = stop_time = float(until)
             if stop_time < self._now:
                 raise SimulationError(
                     f"until={stop_time!r} is in the past (now={self._now!r})"
                 )
 
-        while self._queue:
-            if stop_event is not None and stop_event.processed:
-                if not stop_event.ok:
-                    raise stop_event.value
-                return stop_event.value
-            if stop_time is not None and self.peek() > stop_time:
-                self._now = stop_time
-                return None
-            self.step()
+        # This loop is the single hottest code path of the repository, so
+        # it inlines step()/_pop_next() and — for the dominant case of an
+        # event with exactly one waiting process — Process._resume().
+        # The inlined resume must stay semantically identical to
+        # Process._resume; the golden traces pin the observable order.
+        queue = self._queue
+        fifo = self._fifo
+        urgent = self._urgent
+        tracer = self._tracer
+        pop = heappop
+        now = self._now
 
-        if stop_event is not None:
-            if stop_event.processed:
-                if not stop_event.ok:
-                    raise stop_event.value
-                return stop_event.value
-            raise SimulationError("event queue drained before the stop event fired")
-        if stop_time is not None:
-            self._now = stop_time
-        return None
+        while True:
+            if stop_event is not None and stop_event.callbacks is None:
+                if not stop_event._ok:
+                    raise stop_event._value
+                return stop_event._value
+
+            # -- pop the next event in (time, priority, id) order ---------
+            if urgent:
+                if queue and queue[0][0] <= now and queue[0][1] < urgent[0][0]:
+                    event = pop(queue)[2]
+                else:
+                    event = urgent.popleft()[1]
+            elif fifo:
+                if queue and queue[0][0] <= now and queue[0][1] < fifo[0][0]:
+                    event = pop(queue)[2]
+                else:
+                    event = fifo.popleft()[1]
+            elif queue:
+                when = queue[0][0]
+                if when > horizon:
+                    self._now = stop_time
+                    return None
+                event = pop(queue)[2]
+                self._now = now = when
+            else:
+                if stop_event is not None:
+                    raise SimulationError(
+                        "event queue drained before the stop event fired")
+                if stop_time is not None:
+                    self._now = stop_time
+                return None
+
+            if tracer is not None:
+                tracer(now, event)
+
+            # -- dispatch -------------------------------------------------
+            process = event.callbacks
+            event.callbacks = None
+            if process is not None:
+                if process.__class__ is Process:
+                    # Inlined Process._resume(event) — the dominant case
+                    # of exactly one waiting process.
+                    self._active_process = process
+                    send = process._send
+                    resumed = event
+                    while True:
+                        try:
+                            if resumed._ok:
+                                next_event = send(resumed._value)
+                            else:
+                                resumed._defused = True
+                                next_event = process._generator.throw(
+                                    resumed._value)
+                        except StopIteration as stop:
+                            process._ok = True
+                            process._value = stop.value
+                            self._eid = eid = self._eid + 1
+                            fifo.append((_NORMAL_KEY + eid, process))
+                            break
+                        except BaseException as exc:
+                            process._ok = False
+                            process._value = exc
+                            self._eid = eid = self._eid + 1
+                            fifo.append((_NORMAL_KEY + eid, process))
+                            break
+
+                        if isinstance(next_event, Event):
+                            cbs = next_event.callbacks
+                            if cbs is not None:
+                                if cbs.__class__ is tuple:
+                                    next_event.callbacks = process
+                                elif cbs.__class__ is list:
+                                    cbs.append(process)
+                                else:
+                                    next_event.callbacks = [cbs, process]
+                                process._target = next_event
+                                break
+                            resumed = next_event
+                        else:
+                            exc = SimulationError(
+                                f"process yielded a non-event: "
+                                f"{next_event!r}")
+                            resumed = Event(self)
+                            resumed._ok = False
+                            resumed._value = exc
+
+                    if process._value is not _PENDING:
+                        process._target = None
+                    self._active_process = None
+                else:
+                    cls = process.__class__
+                    if cls is list:
+                        for callback in process:
+                            callback(event)
+                    elif cls is not tuple:
+                        process(event)
+            if not event._ok and not event._defused:
+                raise event._value

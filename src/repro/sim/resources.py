@@ -3,14 +3,33 @@
 These are the building blocks used to model contention: GPUs and NICs are
 ``Resource`` instances, render/compression queues are ``Store`` instances,
 and bandwidth-style quantities are ``Container`` instances.
+
+Like :mod:`repro.sim.engine`, the request/put/get event classes sit on the
+hot path of every session pipeline, so they declare ``__slots__`` and the
+FIFO wait queues are ``collections.deque`` (O(1) popleft) rather than
+lists.  Observable grant/wakeup order is unchanged and pinned by the
+golden traces in ``tests/golden/``.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Optional
 
-from repro.sim.engine import Environment, Event, SimulationError
+from repro.sim.engine import (
+    _NO_CALLBACKS,
+    _NORMAL_KEY,
+    _PENDING,
+    Environment,
+    Event,
+    SimulationError,
+)
+
+# The request/put/get paths below inline Event construction and
+# Event.succeed() (including the scheduling append) to keep the per-call
+# frame count minimal; each inlined block mirrors the reference methods
+# in repro.sim.engine exactly.
 
 __all__ = [
     "Container",
@@ -42,6 +61,8 @@ class Request(Event):
             ...
     """
 
+    __slots__ = ("resource", "priority", "usage_since", "process")
+
     def __init__(self, resource: "Resource", priority: float = 0.0):
         super().__init__(resource.env)
         self.resource = resource
@@ -64,10 +85,18 @@ class Request(Event):
 class Release(Event):
     """Event representing the (immediate) release of a resource slot."""
 
+    __slots__ = ("request",)
+
     def __init__(self, resource: "Resource", request: Request):
-        super().__init__(resource.env)
+        env = resource.env
+        self.env = env
+        self.callbacks = _NO_CALLBACKS
+        self._ok = True
+        self._value = None
+        self._defused = False
         self.request = request
-        self.succeed()
+        env._eid = eid = env._eid + 1
+        env._fifo.append((_NORMAL_KEY + eid, self))
 
 
 class Resource:
@@ -79,13 +108,21 @@ class Resource:
     and contention factors.
     """
 
+    __slots__ = ("env", "capacity", "users", "queue", "_fast_request")
+
     def __init__(self, env: Environment, capacity: int = 1):
         if capacity <= 0:
             raise SimulationError(f"resource capacity must be positive, got {capacity}")
         self.env = env
         self.capacity = capacity
         self.users: list[Request] = []
-        self.queue: list[Request] = []
+        self.queue: deque[Request] = deque()
+        # The request() fast path hardcodes the base-class grant/admit
+        # decision; subclasses that override those hooks must go through
+        # the reference Request(...) path instead.
+        cls = type(self)
+        self._fast_request = (cls._add_request is Resource._add_request
+                              and cls._grant is Resource._grant)
 
     # -- introspection -----------------------------------------------------
     @property
@@ -100,14 +137,40 @@ class Resource:
 
     # -- request / release ---------------------------------------------------
     def request(self, priority: float = 0.0) -> Request:
-        return Request(self, priority)
+        if not self._fast_request:
+            return Request(self, priority)
+        env = self.env
+        request = Request.__new__(Request)
+        request.env = env
+        request.callbacks = _NO_CALLBACKS
+        request._defused = False
+        request.resource = self
+        request.priority = priority
+        request.process = env._active_process
+        users = self.users
+        if len(users) < self.capacity:
+            # Fast path: grant immediately (== _grant + succeed).
+            request.usage_since = env._now
+            users.append(request)
+            request._ok = True
+            request._value = self
+            env._eid = eid = env._eid + 1
+            env._fifo.append((_NORMAL_KEY + eid, request))
+        else:
+            request.usage_since = None
+            request._ok = None
+            request._value = _PENDING
+            self._enqueue(request)
+        return request
 
     def release(self, request: Request) -> Release:
-        if request in self.users:
-            self.users.remove(request)
-            self._grant_next()
-        elif request in self.queue:
-            self.queue.remove(request)
+        users = self.users
+        if request in users:
+            users.remove(request)
+            if self.queue and len(users) < self.capacity:
+                self._grant_next()
+        else:
+            self._withdraw(request)
         return Release(self, request)
 
     # -- internals -----------------------------------------------------------
@@ -120,22 +183,43 @@ class Resource:
     def _enqueue(self, request: Request) -> None:
         self.queue.append(request)
 
+    def _withdraw(self, request: Request) -> None:
+        try:
+            self.queue.remove(request)
+        except ValueError:
+            pass
+
     def _grant(self, request: Request) -> None:
         request.usage_since = self.env.now
         self.users.append(request)
         request.succeed(self)
 
     def _grant_next(self) -> None:
-        while self.queue and len(self.users) < self.capacity:
-            nxt = self._pop_next()
-            self._grant(nxt)
+        if not self._fast_request:
+            while self.queue and len(self.users) < self.capacity:
+                self._grant(self._pop_next())
+            return
+        env = self.env
+        users = self.users
+        capacity = self.capacity
+        while self.queue and len(users) < capacity:
+            request = self._pop_next()
+            # == _grant + succeed, inlined.
+            request.usage_since = env._now
+            users.append(request)
+            request._ok = True
+            request._value = self
+            env._eid = eid = env._eid + 1
+            env._fifo.append((_NORMAL_KEY + eid, request))
 
     def _pop_next(self) -> Request:
-        return self.queue.pop(0)
+        return self.queue.popleft()
 
 
 class PriorityResource(Resource):
     """Resource whose queue is ordered by ``priority`` (lower is sooner)."""
+
+    __slots__ = ("_heap", "_counter")
 
     def __init__(self, env: Environment, capacity: int = 1):
         super().__init__(env, capacity)
@@ -145,25 +229,25 @@ class PriorityResource(Resource):
     def _enqueue(self, request: Request) -> None:
         self._counter += 1
         heapq.heappush(self._heap, (request.priority, self._counter, request))
-        self.queue = [entry[2] for entry in sorted(self._heap)]
+        self._sync_queue()
 
     def _pop_next(self) -> Request:
         _prio, _count, request = heapq.heappop(self._heap)
-        self.queue = [entry[2] for entry in sorted(self._heap)]
+        self._sync_queue()
         return request
 
-    def release(self, request: Request) -> Release:
-        if request in self.users:
-            self.users.remove(request)
-            self._grant_next()
-        else:
-            self._heap = [e for e in self._heap if e[2] is not request]
-            heapq.heapify(self._heap)
-            self.queue = [entry[2] for entry in sorted(self._heap)]
-        return Release(self, request)
+    def _withdraw(self, request: Request) -> None:
+        self._heap = [e for e in self._heap if e[2] is not request]
+        heapq.heapify(self._heap)
+        self._sync_queue()
+
+    def _sync_queue(self) -> None:
+        self.queue = deque(entry[2] for entry in sorted(self._heap))
 
 
 class StorePut(Event):
+    __slots__ = ("item",)
+
     def __init__(self, store: "Store", item: Any):
         super().__init__(store.env)
         self.item = item
@@ -172,6 +256,8 @@ class StorePut(Event):
 
 
 class StoreGet(Event):
+    __slots__ = ()
+
     def __init__(self, store: "Store"):
         super().__init__(store.env)
         store._get_queue.append(self)
@@ -187,50 +273,115 @@ class Store:
     stages (application → interposer → VNC proxy → network).
     """
 
+    __slots__ = ("env", "capacity", "items", "_put_queue", "_get_queue")
+
     def __init__(self, env: Environment, capacity: float = float("inf")):
         if capacity <= 0:
             raise SimulationError(f"store capacity must be positive, got {capacity}")
         self.env = env
         self.capacity = capacity
-        self.items: list[Any] = []
-        self._put_queue: list[StorePut] = []
-        self._get_queue: list[StoreGet] = []
+        self.items: deque[Any] = deque()
+        self._put_queue: deque[StorePut] = deque()
+        self._get_queue: deque[StoreGet] = deque()
 
     def __len__(self) -> int:
         return len(self.items)
 
     def put(self, item: Any) -> StorePut:
-        return StorePut(self, item)
+        env = self.env
+        put = StorePut.__new__(StorePut)
+        put.env = env
+        put.callbacks = _NO_CALLBACKS
+        put._defused = False
+        put.item = item
+        items = self.items
+        if self._put_queue or len(items) >= self.capacity:
+            put._value = _PENDING
+            put._ok = None
+            self._put_queue.append(put)
+            self._trigger()
+            return put
+        # Fast path: accepted immediately (== one _trigger pass; the
+        # succeed is inlined).  At most one waiting getter is then
+        # served — getters only ever wait while the buffer is empty.
+        items.append(item)
+        put._ok = True
+        put._value = None
+        env._eid = eid = env._eid + 1
+        env._fifo.append((_NORMAL_KEY + eid, put))
+        gets = self._get_queue
+        if gets and items:
+            gets.popleft().succeed(items.popleft())
+        return put
 
     def get(self) -> StoreGet:
-        return StoreGet(self)
+        env = self.env
+        get = StoreGet.__new__(StoreGet)
+        get.env = env
+        get.callbacks = _NO_CALLBACKS
+        get._defused = False
+        items = self.items
+        if self._get_queue or not items:
+            get._value = _PENDING
+            get._ok = None
+            self._get_queue.append(get)
+            self._trigger()
+            return get
+        # Fast path: an item is ready (== one _trigger pass; the succeed
+        # is inlined).  The freed slot then admits at most one waiting
+        # putter — putters only ever wait while the buffer is full.
+        get._ok = True
+        get._value = items.popleft()
+        env._eid = eid = env._eid + 1
+        env._fifo.append((_NORMAL_KEY + eid, get))
+        puts = self._put_queue
+        if puts and len(items) < self.capacity:
+            put = puts.popleft()
+            items.append(put.item)
+            put.succeed()
+        return get
 
     def _trigger(self) -> None:
+        items = self.items
+        put_queue = self._put_queue
+        get_queue = self._get_queue
+        capacity = self.capacity
         progressed = True
         while progressed:
             progressed = False
-            if self._put_queue and len(self.items) < self.capacity:
-                put = self._put_queue.pop(0)
-                self.items.append(put.item)
+            if put_queue and len(items) < capacity:
+                put = put_queue.popleft()
+                items.append(put.item)
                 put.succeed()
                 progressed = True
-            if self._get_queue and self.items:
-                get = self._get_queue.pop(0)
-                get.succeed(self.items.pop(0))
+            if get_queue and items:
+                get_queue.popleft().succeed(items.popleft())
                 progressed = True
 
 
 class ContainerPut(Event):
+    __slots__ = ("amount",)
+
     def __init__(self, container: "Container", amount: float):
-        super().__init__(container.env)
+        self.env = container.env
+        self.callbacks = _NO_CALLBACKS
+        self._value = _PENDING
+        self._ok = None
+        self._defused = False
         self.amount = amount
         container._put_queue.append(self)
         container._trigger()
 
 
 class ContainerGet(Event):
+    __slots__ = ("amount",)
+
     def __init__(self, container: "Container", amount: float):
-        super().__init__(container.env)
+        self.env = container.env
+        self.callbacks = _NO_CALLBACKS
+        self._value = _PENDING
+        self._ok = None
+        self._defused = False
         self.amount = amount
         container._get_queue.append(self)
         container._trigger()
@@ -243,6 +394,8 @@ class Container:
     amounts, blocking when the level would go out of bounds.
     """
 
+    __slots__ = ("env", "capacity", "level", "_put_queue", "_get_queue")
+
     def __init__(self, env: Environment, capacity: float = float("inf"),
                  init: float = 0.0):
         if capacity <= 0:
@@ -252,8 +405,8 @@ class Container:
         self.env = env
         self.capacity = capacity
         self.level = float(init)
-        self._put_queue: list[ContainerPut] = []
-        self._get_queue: list[ContainerGet] = []
+        self._put_queue: deque[ContainerPut] = deque()
+        self._get_queue: deque[ContainerGet] = deque()
 
     def put(self, amount: float) -> ContainerPut:
         if amount < 0:
@@ -266,20 +419,22 @@ class Container:
         return ContainerGet(self, amount)
 
     def _trigger(self) -> None:
+        put_queue = self._put_queue
+        get_queue = self._get_queue
         progressed = True
         while progressed:
             progressed = False
-            if self._put_queue:
-                put = self._put_queue[0]
+            if put_queue:
+                put = put_queue[0]
                 if self.level + put.amount <= self.capacity:
-                    self._put_queue.pop(0)
+                    put_queue.popleft()
                     self.level += put.amount
                     put.succeed()
                     progressed = True
-            if self._get_queue:
-                get = self._get_queue[0]
+            if get_queue:
+                get = get_queue[0]
                 if self.level >= get.amount:
-                    self._get_queue.pop(0)
+                    get_queue.popleft()
                     self.level -= get.amount
                     get.succeed(get.amount)
                     progressed = True

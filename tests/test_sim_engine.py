@@ -483,6 +483,50 @@ def test_zero_delay_timeouts_are_fifo_with_succeeded_events(env):
     assert order == ["b", "a", "c"]
 
 
+def test_run_until_infinity_advances_clock_on_drain():
+    """run(until=inf) drains the queue and leaves the clock at infinity,
+    regardless of which float-infinity object the caller passes."""
+    import math
+
+    for horizon in (math.inf, float("inf")):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(5.0)
+
+        env.process(proc(env))
+        env.run(until=horizon)
+        assert env.now == math.inf
+
+    plain = Environment()
+
+    def proc(env):
+        yield env.timeout(5.0)
+
+    plain.process(proc(plain))
+    plain.run()                      # no horizon: clock stays at last event
+    assert plain.now == 5.0
+
+
+def test_schedule_orders_zero_delay_events_by_priority(env):
+    """_schedule keeps (time, priority, id) order for any priority value,
+    including zero-delay events with priorities beyond urgent/normal."""
+    order = []
+
+    def observe(label):
+        return lambda ev: order.append(label)
+
+    for label, priority in (("low", 3), ("normal", 1),
+                            ("urgent", 0), ("normal2", 1), ("low2", 2)):
+        event = env.event()
+        event._ok = True
+        event._value = None
+        event.add_callback(observe(label))
+        env._schedule(event, 0.0, priority=priority)
+    env.run()
+    assert order == ["urgent", "normal", "normal2", "low2", "low"]
+
+
 # ---------------------------------------------------------------------------
 # Randomized property tests: determinism and step()/run() equivalence.
 # ---------------------------------------------------------------------------

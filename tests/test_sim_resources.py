@@ -177,3 +177,26 @@ def test_container_rejects_negative_amounts(env):
 def test_container_initial_level_validated(env):
     with pytest.raises(SimulationError):
         Container(env, capacity=5.0, init=10.0)
+
+
+def test_request_fast_path_defers_to_subclass_hooks(env):
+    """resource.request() must honor subclass admission/grant overrides
+    exactly like direct Request(resource) construction does."""
+    from repro.sim.resources import Request, Resource
+
+    granted = []
+
+    class LoggingResource(Resource):
+        __slots__ = ()
+
+        def _grant(self, request):
+            granted.append(request)
+            super()._grant(request)
+
+    resource = LoggingResource(env, capacity=1)
+    via_method = resource.request()
+    via_ctor = Request(resource)          # queued: capacity taken
+    assert granted == [via_method]
+    resource.release(via_method)
+    env.run()
+    assert granted == [via_method, via_ctor]
