@@ -21,6 +21,10 @@ the environment:
     worker-process count for the suite (default 1 = serial).
 ``PICTOR_CACHE_DIR``
     content-addressed result cache shared between figures and runs.
+``PICTOR_BACKEND`` / ``PICTOR_QUEUE_DIR``
+    pin an execution backend (``serial``/``parallel``/``distributed``)
+    and, for the distributed one, the work-queue directory shared with
+    externally started ``python -m repro.experiments worker`` processes.
 """
 
 from __future__ import annotations
@@ -78,7 +82,10 @@ def suite():
     """
     workers = max(1, int(os.environ.get("PICTOR_WORKERS", "1") or "1"))
     cache_dir = os.environ.get("PICTOR_CACHE_DIR") or None
-    with ExperimentSuite(workers=workers, cache_dir=cache_dir) as shared:
+    backend = os.environ.get("PICTOR_BACKEND") or None
+    queue_dir = os.environ.get("PICTOR_QUEUE_DIR") or None
+    with ExperimentSuite(workers=workers, cache_dir=cache_dir,
+                         backend=backend, queue_dir=queue_dir) as shared:
         yield shared
 
 

@@ -25,21 +25,29 @@ Execution goes through the suite subsystem: every generator expresses its
 testbed runs as declarative :class:`~repro.scenarios.Scenario` values
 wrapped in :class:`~repro.experiments.jobs.ExperimentJob` lists that an
 :class:`~repro.experiments.executor.ExperimentSuite` runs serially,
-across worker processes, or out of a content-addressed result cache —
-always with bit-identical results.  ``python -m repro.experiments``
+across local worker processes, over a distributed work queue
+(:mod:`repro.experiments.queue` — drained by ``python -m
+repro.experiments worker`` processes on any machine sharing the queue
+directory), or out of a content-addressed result cache — always with
+bit-identical results, submitted largest-estimated-cost first
+(:mod:`repro.experiments.cost`).  ``python -m repro.experiments``
 exposes the whole registry (and a ``scenario`` subcommand for running
 ad-hoc scenario specs) on the command line (see
 :mod:`repro.experiments.figures`).
 """
 
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.cost import CostModel, order_by_cost
 from repro.experiments.executor import (
+    BACKENDS,
     ExperimentSuite,
     ResultCache,
     default_suite,
     run_jobs,
 )
 from repro.experiments.jobs import ExperimentJob, JobVariant, execute_job
+from repro.experiments.queue import DirectoryQueue, WorkQueue
+from repro.experiments.worker import run_worker, spawn_worker
 from repro.experiments.runner import (
     run_colocated,
     run_custom,
@@ -51,6 +59,9 @@ from repro.scenarios.scenario import Placement, Scenario, SeedPolicy
 from repro.scenarios.variants import SessionVariant, session_variant
 
 __all__ = [
+    "BACKENDS",
+    "CostModel",
+    "DirectoryQueue",
     "ExperimentConfig",
     "ExperimentJob",
     "ExperimentSuite",
@@ -60,13 +71,17 @@ __all__ = [
     "Scenario",
     "SeedPolicy",
     "SessionVariant",
+    "WorkQueue",
     "default_suite",
     "execute_job",
     "n_way_mixes",
+    "order_by_cost",
     "run_colocated",
     "run_custom",
     "run_jobs",
     "run_mixed_pair",
     "run_single",
+    "run_worker",
     "session_variant",
+    "spawn_worker",
 ]

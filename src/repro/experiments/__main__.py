@@ -17,7 +17,16 @@ network — straight from a JSON spec file, an inline JSON string, or an
     PYTHONPATH=src python -m repro.experiments scenario \
         '{"placements": ["RE", "ITP", "D2"], "variant": "optimized"}'
 
-Results are deterministic: ``--workers 1`` and ``--workers N`` print
+Execution backends are selectable (``--backend serial|parallel|
+distributed``); the distributed backend submits jobs to a
+shared-filesystem work queue (``--queue DIR``) drained by standalone
+workers::
+
+    PYTHONPATH=src python -m repro.experiments worker --queue /shared/q &
+    PYTHONPATH=src python -m repro.experiments scenario RE+ITP+D2 \
+        --backend distributed --queue /shared/q --workers 2
+
+Results are deterministic: serial, parallel, and distributed runs print
 bit-identical tables, and a second run against the same ``--cache-dir``
 replays without executing anything.
 """
@@ -72,6 +81,16 @@ def _add_execution_options(parser: argparse.ArgumentParser,
                         help="worker processes (1 = serial; default 1)")
     parser.add_argument("--cache-dir", default=default(None), metavar="DIR",
                         help="content-addressed result cache directory")
+    parser.add_argument("--backend", choices=("serial", "parallel",
+                                              "distributed"),
+                        default=default(None),
+                        help="execution backend (default: inferred — "
+                             "distributed with --queue, parallel with "
+                             "--workers > 1, else serial)")
+    parser.add_argument("--queue", default=default(None), metavar="DIR",
+                        help="work-queue directory for the distributed "
+                             "backend (created on demand; default: a "
+                             "private temporary queue)")
 
 
 def _add_config_options(parser: argparse.ArgumentParser,
@@ -135,6 +154,28 @@ def build_parser() -> argparse.ArgumentParser:
                             "tests/golden)")
     trace.add_argument("--list", action="store_true", dest="list_goldens",
                        help="list the registered golden scenarios and exit")
+
+    worker = subcommands.add_parser(
+        "worker",
+        help="run a distributed-backend worker against a work queue",
+        description="Poll the given work-queue directory for pending "
+                    "experiment jobs, execute them, and write "
+                    "provenance-stamped results back into the queue's "
+                    "result cache.  Start one per core on any machine "
+                    "that can see the queue directory.")
+    worker.add_argument("--queue", required=True, metavar="DIR",
+                        help="work-queue directory (created on demand)")
+    worker.add_argument("--worker-id", default=None, metavar="ID",
+                        help="worker identity used in claims "
+                             "(default: <hostname>-<pid>)")
+    worker.add_argument("--poll", type=float, default=0.2, metavar="S",
+                        help="idle poll interval in seconds (default 0.2)")
+    worker.add_argument("--max-jobs", type=int, default=None, metavar="N",
+                        help="exit after completing N jobs (default: no limit)")
+    worker.add_argument("--idle-timeout", type=float, default=None,
+                        metavar="S",
+                        help="exit after the queue stays empty this long "
+                             "(default: poll forever)")
     return parser
 
 
@@ -166,7 +207,8 @@ def _run_scenarios(args) -> int:
         scenarios = []
         for spec in args.spec:
             scenarios.extend(load_scenarios(spec, config))
-        suite = ExperimentSuite(workers=args.workers, cache_dir=args.cache_dir)
+        suite = ExperimentSuite(workers=args.workers, cache_dir=args.cache_dir,
+                                backend=args.backend, queue_dir=args.queue)
     except (ValueError, KeyError, TypeError, json.JSONDecodeError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -238,6 +280,20 @@ def _run_trace(args) -> int:
     return 0
 
 
+def _run_worker(args) -> int:
+    from repro.experiments.queue import DirectoryQueue, default_worker_id
+    from repro.experiments.worker import run_worker
+
+    queue = DirectoryQueue(args.queue)
+    worker_id = args.worker_id or default_worker_id()
+    executed = run_worker(queue, worker_id=worker_id, poll_s=args.poll,
+                          max_jobs=args.max_jobs,
+                          idle_timeout_s=args.idle_timeout)
+    print(f"worker {worker_id}: executed {executed} job(s) from {queue.root}",
+          file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -245,6 +301,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         return _run_scenarios(args)
     if getattr(args, "command", None) == "trace":
         return _run_trace(args)
+    if getattr(args, "command", None) == "worker":
+        return _run_worker(args)
 
     if args.list_figures:
         rows = [{"figure": name, "title": spec.title}
@@ -267,7 +325,8 @@ def main(argv: Optional[list[str]] = None) -> int:
 
     try:
         config = make_config(args)
-        suite = ExperimentSuite(workers=args.workers, cache_dir=args.cache_dir)
+        suite = ExperimentSuite(workers=args.workers, cache_dir=args.cache_dir,
+                                backend=args.backend, queue_dir=args.queue)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

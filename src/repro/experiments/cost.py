@@ -1,0 +1,106 @@
+"""Job cost estimation: packing execution backends largest-first.
+
+Submission order never changes a result (``execute_job`` is
+deterministic), but it does change how well a pool of workers is
+utilized: with figure-order submission a long job picked up last leaves
+every other worker idle while it finishes.  Classic longest-processing-
+time packing — submit the most expensive jobs first — bounds that tail,
+so both the process-pool and the distributed backends order their
+submissions through :func:`order_by_cost`.
+
+The a-priori cost of a job is :meth:`ExperimentJob.cost_units`
+(simulated seconds × instance count).  Units are only comparable within
+one job kind — ``accuracy`` jobs spend their time training models, not
+simulating — so :class:`CostModel` carries a wall-seconds-per-unit rate
+per kind, calibrated from the ``runtime_s`` / ``cost_units`` stamps the
+executor writes into every cache entry.  With no calibration data the
+rates default to 1.0, which still orders correctly within a kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+if TYPE_CHECKING:  # import cycle: executor imports this module
+    from repro.experiments.executor import ResultCache
+    from repro.experiments.jobs import ExperimentJob
+
+__all__ = ["CostCalibration", "CostModel", "order_by_cost"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Wall-clock estimates for experiment jobs.
+
+    ``rates`` maps a job kind to calibrated wall seconds per cost unit;
+    kinds without a rate fall back to 1.0 (raw units).
+    """
+
+    rates: Mapping[str, float] = field(default_factory=dict)
+
+    def estimate(self, job: "ExperimentJob") -> float:
+        """Estimated wall seconds (or raw units, uncalibrated) for ``job``."""
+        return job.cost_units() * self.rates.get(job.kind, 1.0)
+
+    @classmethod
+    def calibrated(cls, cache: "ResultCache") -> "CostModel":
+        """A model whose per-kind rates are fit from cached runtimes.
+
+        Every executed job's cache entry records how long it actually
+        took (``runtime_s``) and its a-priori cost (``cost_units``); the
+        rate for a kind is total runtime over total units, so large jobs
+        dominate the fit — exactly the jobs packing must get right.
+        Kinds with no usable samples keep the 1.0 default.
+        """
+        return CostCalibration.from_cache(cache).model()
+
+
+@dataclass
+class CostCalibration:
+    """Mutable per-kind runtime/unit totals that feed a :class:`CostModel`.
+
+    The executor seeds one from the on-disk cache **once** per suite
+    (scanning entries means unpickling full result payloads, so doing it
+    per batch would be wasteful) and then feeds it each executed job's
+    observed runtime in memory.
+    """
+
+    unit_totals: dict = field(default_factory=dict)
+    runtime_totals: dict = field(default_factory=dict)
+
+    def observe(self, kind: str, units: float,
+                runtime_s: float | None) -> None:
+        if not kind or not runtime_s or not units:
+            return  # pre-runtime-stamp entry (or a zero-cost fluke)
+        self.unit_totals[kind] = self.unit_totals.get(kind, 0.0) + units
+        self.runtime_totals[kind] = (self.runtime_totals.get(kind, 0.0)
+                                     + runtime_s)
+
+    def observe_entry(self, entry: dict) -> None:
+        self.observe(entry.get("kind"), entry.get("cost_units"),
+                     entry.get("runtime_s"))
+
+    @classmethod
+    def from_cache(cls, cache: "ResultCache") -> "CostCalibration":
+        calibration = cls()
+        for entry in cache.entries():
+            calibration.observe_entry(entry)
+        return calibration
+
+    def model(self) -> CostModel:
+        return CostModel(rates={
+            kind: self.runtime_totals[kind] / self.unit_totals[kind]
+            for kind in self.unit_totals if self.unit_totals[kind] > 0})
+
+
+def order_by_cost(jobs: Sequence["ExperimentJob"],
+                  model: CostModel | None = None) -> list["ExperimentJob"]:
+    """``jobs`` reordered largest-estimated-cost first.
+
+    Deterministic: ties break on the job's content hash, so every
+    process (and every backend) derives the same submission order from
+    the same job set.
+    """
+    model = model or CostModel()
+    return sorted(jobs, key=lambda job: (-model.estimate(job), job.key()))

@@ -1,4 +1,4 @@
-"""Experiment execution: interchangeable serial / process-pool backends.
+"""Experiment execution: interchangeable serial / parallel / distributed backends.
 
 :class:`ExperimentSuite` takes a list of :class:`ExperimentJob` values
 and returns their results in the same order.  Three layers cooperate:
@@ -8,34 +8,69 @@ and returns their results in the same order.  Three layers cooperate:
 * **caching** — with a ``cache_dir``, results are stored on disk keyed
   by the job's content hash, so re-running a figure (or another figure
   sharing its runs) replays instantly and bit-identically;
-* **execution backend** — ``workers <= 1`` runs jobs in-process;
-  ``workers > 1`` fans them out over a
-  :class:`concurrent.futures.ProcessPoolExecutor`.
+* **execution backend** — ``serial`` runs jobs in-process; ``parallel``
+  fans them out over a :class:`concurrent.futures.ProcessPoolExecutor`;
+  ``distributed`` submits them to a shared-filesystem work queue
+  (:class:`~repro.experiments.queue.DirectoryQueue`) drained by
+  standalone worker processes — spawned locally by the suite, or
+  started by hand on any machine that can see the queue directory with
+  ``python -m repro.experiments worker --queue DIR``.
 
-Because :func:`repro.experiments.jobs.execute_job` is deterministic, the
-choice of backend (or a cache replay) never changes a result — only how
-fast it arrives.
+Whatever the backend, jobs are submitted **largest-estimated-cost
+first** (:func:`~repro.experiments.cost.order_by_cost`, calibrated from
+the runtimes stamped into cache entries), which bounds the idle tail of
+a pool without affecting any result.  Because
+:func:`repro.experiments.jobs.execute_job` is deterministic, the choice
+of backend (or a cache replay) never changes a result — only how fast
+it arrives.
 """
 
 from __future__ import annotations
 
+import atexit
 import logging
 import os
 import pickle
+import shutil
 import subprocess
 import tempfile
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from functools import lru_cache
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.experiments.cost import CostCalibration, CostModel, order_by_cost
 from repro.experiments.jobs import CACHE_SCHEMA_VERSION, ExperimentJob, execute_job
 
-__all__ = ["ExperimentSuite", "ResultCache", "SuiteStats", "current_git_rev",
-           "default_suite", "run_jobs"]
+__all__ = ["BACKENDS", "ExperimentSuite", "ResultCache", "SuiteStats",
+           "current_git_rev", "default_suite", "run_jobs"]
 
 logger = logging.getLogger(__name__)
+
+#: The execution backends a suite can run jobs on.
+BACKENDS = ("serial", "parallel", "distributed")
+
+
+def atomic_write_bytes(directory: Path, path: Path, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` via temp file + rename, so readers
+    (and racing writers — last one wins whole) never see a partial file.
+
+    ``directory`` must be on the same filesystem as ``path`` (it is the
+    temp file's home; ``os.replace`` must not cross devices).
+    """
+    fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 @lru_cache(maxsize=1)
@@ -82,9 +117,11 @@ class ResultCache:
     :class:`ExperimentConfig` field, any session-variant knob or the seed
     policy produces a different key and the stale entry is never
     consulted.  Each entry additionally records *how* it was produced —
-    cache schema version, the scenario's own dict and content hash, and
-    the git revision — so cross-PR figure regressions are diffable and a
-    schema break is **logged** when detected rather than silently
+    cache schema version, the scenario's own dict and content hash, the
+    git revision, and the wall-clock runtime plus a-priori cost units of
+    the run that produced it (the cost model's calibration data) — so
+    cross-PR figure regressions are diffable and a schema break or a
+    tampered entry is **logged** when detected rather than silently
     recomputed.
     """
 
@@ -96,9 +133,26 @@ class ResultCache:
         return self.root / f"{key}.pkl"
 
     def get(self, job: ExperimentJob):
-        """The cached result for ``job``, or None when absent/unusable."""
+        """The cached result for ``job``, or None when absent/unusable.
+
+        Beyond the schema check in :meth:`get_entry`, the entry's stamped
+        scenario hash must match the requesting job's scenario — a
+        mismatch means the entry was tampered with (or filed under the
+        wrong key) and is rejected with a log line, never replayed.
+        """
         entry = self.get_entry(job.key())
-        return None if entry is None else entry.get("result")
+        if entry is None:
+            return None
+        expected = job.scenario.content_hash()
+        stamped = entry.get("scenario_hash")
+        if stamped != expected:
+            logger.warning(
+                "rejecting tampered cache entry %s: stamped scenario hash "
+                "%s does not match the job's scenario %s (written at git "
+                "rev %s); recomputing", self._path(job.key()), stamped,
+                expected, entry.get("git_rev", "unknown"))
+            return None
+        return entry.get("result")
 
     def get_entry(self, key: str) -> Optional[dict]:
         """The full provenance-stamped entry for ``key``, or None."""
@@ -124,7 +178,15 @@ class ResultCache:
             return None
         return entry
 
-    def put(self, job: ExperimentJob, result) -> None:
+    def entries(self):
+        """Iterate every readable current-schema entry (stamps included)."""
+        for path in sorted(self.root.glob("*.pkl")):
+            entry = self.get_entry(path.stem)
+            if entry is not None:
+                yield entry
+
+    def put(self, job: ExperimentJob, result,
+            runtime_s: Optional[float] = None) -> None:
         """Store ``result`` with provenance, atomically (rename) so readers
         never see a half-written entry."""
         entry = {
@@ -135,38 +197,76 @@ class ResultCache:
             "scenario": job.scenario.to_dict(),
             "scenario_hash": job.scenario.content_hash(),
             "git_rev": current_git_rev(),
+            "runtime_s": runtime_s,
+            "cost_units": job.cost_units(),
             "result": result,
         }
-        path = self._path(job.key())
-        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        atomic_write_bytes(self.root, self._path(job.key()),
+                           pickle.dumps(entry,
+                                        protocol=pickle.HIGHEST_PROTOCOL))
+
+    def invalidate(self, key: str) -> None:
+        """Drop the entry for ``key`` (e.g. one that failed validation)."""
+        self._path(key).unlink(missing_ok=True)
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*.pkl"))
 
 
+def _timed_execute(job: ExperimentJob) -> tuple:
+    """(result, wall seconds) for ``job`` — module-level for pool pickling."""
+    started = time.perf_counter()
+    result = execute_job(job)
+    return result, time.perf_counter() - started
+
+
 @dataclass
 class ExperimentSuite:
-    """Runs experiment jobs through a pluggable execution backend."""
+    """Runs experiment jobs through a pluggable execution backend.
+
+    ``backend`` is normally inferred — ``distributed`` when a
+    ``queue_dir`` is given, ``parallel`` when ``workers > 1``, else
+    ``serial`` — but can be pinned explicitly (the CLI's ``--backend``).
+    On the distributed backend ``workers`` is the number of local worker
+    processes the suite spawns against the queue; with
+    ``spawn_workers=False`` the suite only submits and waits, leaving
+    execution to externally started workers (``python -m
+    repro.experiments worker --queue DIR``, on this or any other machine
+    sharing the queue directory).
+    """
 
     workers: int = 1
     cache_dir: Optional[os.PathLike | str] = None
+    backend: Optional[str] = None
+    queue_dir: Optional[os.PathLike | str] = None
+    spawn_workers: bool = True
+    #: Claims older than this are requeued (crashed-worker recovery).
+    #: Must exceed the longest single job runtime, or a slow job will be
+    #: executed twice (harmless — results are deterministic — but wasteful).
+    lease_s: float = 300.0
+    #: How long the distributed backend waits for results before raising.
+    timeout_s: Optional[float] = None
     stats: SuiteStats = field(default_factory=SuiteStats)
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError("workers must be at least 1")
+        if self.backend is None:
+            self.backend = ("distributed" if self.queue_dir is not None
+                            else "parallel" if self.workers > 1 else "serial")
+        if self.backend not in BACKENDS:
+            raise ValueError(f"unknown backend {self.backend!r}; "
+                             f"known: {BACKENDS}")
+        if self.queue_dir is not None and self.backend != "distributed":
+            raise ValueError("queue_dir only applies to the distributed "
+                             f"backend, not {self.backend!r}")
         self._cache = ResultCache(self.cache_dir) if self.cache_dir else None
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._queue = None
+        self._owned_queue_dir: Optional[Path] = None
+        self._worker_procs: list[tuple[subprocess.Popen, str]] = []
+        self._worker_seq = 0
+        self._calibration: Optional[CostCalibration] = None
         # Results live for the suite's lifetime, so figures sharing runs
         # (10-13 share a sweep, 8-9 the characterization runs) execute
         # them once per suite even without an on-disk cache.  Callers
@@ -178,6 +278,19 @@ class ExperimentSuite:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        for proc, _ in self._worker_procs:
+            proc.terminate()
+        for proc, _ in self._worker_procs:
+            try:
+                proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+        self._worker_procs.clear()
+        self._queue = None
+        if self._owned_queue_dir is not None:
+            shutil.rmtree(self._owned_queue_dir, ignore_errors=True)
+            self._owned_queue_dir = None
 
     def __enter__(self) -> "ExperimentSuite":
         return self
@@ -217,21 +330,165 @@ class ExperimentSuite:
 
         if pending:
             self.stats.executed += len(pending)
-            for job, result in zip(pending, self._map(pending)):
+            for job, (result, runtime_s) in zip(pending, self._map(pending)):
                 unique[job] = result
                 self._memo[job] = result
+                if self._calibration is not None:
+                    self._calibration.observe(job.kind, job.cost_units(),
+                                              runtime_s)
                 if self._cache is not None:
-                    self._cache.put(job, result)
+                    self._cache.put(job, result, runtime_s=runtime_s)
 
         return [unique[job] for job in jobs]
 
-    def _map(self, jobs: list[ExperimentJob]) -> list:
-        if self.workers <= 1 or len(jobs) <= 1:
-            return [execute_job(job) for job in jobs]
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
-        futures = [self._pool.submit(execute_job, job) for job in jobs]
-        return [future.result() for future in futures]
+    def submission_order(self,
+                         jobs: Sequence[ExperimentJob]) -> list[ExperimentJob]:
+        """The order ``jobs`` would be handed to the backend: largest
+        estimated cost first, under the current calibration."""
+        return order_by_cost(jobs, self._cost_model())
+
+    def _cost_model(self) -> CostModel:
+        # The disk scan (which unpickles full result payloads) happens
+        # once per suite; every batch executed afterwards feeds the
+        # calibration in memory via run().
+        if self._calibration is None:
+            cache = self._cache
+            if cache is None and self.backend == "distributed":
+                cache = self._ensure_queue().results
+            self._calibration = (CostCalibration.from_cache(cache)
+                                 if cache is not None else CostCalibration())
+        return self._calibration.model()
+
+    def _map(self, jobs: list[ExperimentJob]) -> list[tuple]:
+        """(result, runtime_s) per job, aligned with ``jobs``."""
+        ordered = order_by_cost(jobs, self._cost_model())
+        if self.backend == "distributed":
+            by_job = self._run_distributed(ordered)
+        elif self.backend == "parallel" and self.workers > 1 and len(jobs) > 1:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            futures = [(job, self._pool.submit(_timed_execute, job))
+                       for job in ordered]
+            by_job = {job: future.result() for job, future in futures}
+        else:
+            by_job = {job: _timed_execute(job) for job in ordered}
+        return [by_job[job] for job in jobs]
+
+    # -- the distributed backend ------------------------------------------------------
+    def _ensure_queue(self):
+        if self._queue is None:
+            from repro.experiments.queue import DirectoryQueue
+            root = self.queue_dir
+            if root is None:
+                root = tempfile.mkdtemp(prefix="pictor-queue-")
+                self._owned_queue_dir = Path(root)
+            self._queue = DirectoryQueue(root)
+        return self._queue
+
+    def _ensure_workers(self, queue) -> None:
+        from repro.experiments.worker import spawn_worker
+        if not self.spawn_workers:
+            return
+        alive = [(proc, wid) for proc, wid in self._worker_procs
+                 if proc.poll() is None]
+        self._worker_procs = alive
+        while len(self._worker_procs) < self.workers:
+            worker_id = f"suite-{os.getpid()}-w{self._worker_seq}"
+            self._worker_seq += 1
+            proc = spawn_worker(queue.root, worker_id=worker_id)
+            self._worker_procs.append((proc, worker_id))
+
+    def _reap_dead_workers(self, queue) -> None:
+        """Requeue the claims of spawned workers that exited.
+
+        External workers (``spawn_workers=False`` or other machines) are
+        invisible here; their crashes are covered by the lease —
+        :meth:`DirectoryQueue.requeue_stale` runs every poll iteration.
+        """
+        alive = []
+        for proc, worker_id in self._worker_procs:
+            if proc.poll() is None:
+                alive.append((proc, worker_id))
+                continue
+            requeued = queue.requeue_worker(worker_id)
+            logger.warning(
+                "spawned worker %s exited with code %s; requeued %d claimed "
+                "job(s); log: %s", worker_id, proc.returncode, len(requeued),
+                queue.worker_log_dir / f"{worker_id}.log")
+        if self.spawn_workers and not alive and self._worker_procs:
+            raise RuntimeError(
+                "all spawned distributed workers exited while jobs were "
+                f"outstanding; see logs under {queue.worker_log_dir}")
+        self._worker_procs = alive
+
+    def _run_distributed(self, ordered: list[ExperimentJob]) -> dict:
+        queue = self._ensure_queue()
+        outstanding: dict[str, ExperimentJob] = {}
+        for job in ordered:
+            outstanding[queue.submit(job)] = job
+        self._ensure_workers(queue)
+
+        gathered: dict[ExperimentJob, tuple] = {}
+        deadline = (None if self.timeout_s is None
+                    else time.monotonic() + self.timeout_s)
+        last_warning = time.monotonic()
+        while outstanding:
+            progressed = False
+            for key in list(outstanding):
+                entry = queue.result_entry(key)
+                if entry is not None:
+                    job = outstanding[key]
+                    if entry.get("scenario_hash") \
+                            != job.scenario.content_hash():
+                        # Same contract as ResultCache.get: a tampered
+                        # entry (here: pre-existing in a shared queue,
+                        # since submit() skips already-completed keys) is
+                        # rejected with a log line and re-executed.
+                        logger.warning(
+                            "rejecting tampered cache entry %s: stamped "
+                            "scenario hash %s does not match the job's "
+                            "scenario %s (written at git rev %s); "
+                            "recomputing", queue.results._path(key),
+                            entry.get("scenario_hash"),
+                            job.scenario.content_hash(),
+                            entry.get("git_rev", "unknown"))
+                        queue.invalidate(key)
+                        queue.submit(job)
+                        continue
+                    gathered[outstanding.pop(key)] = (
+                        entry.get("result"), entry.get("runtime_s"))
+                    progressed = True
+                    continue
+                failure = queue.failure(key)
+                if failure is not None:
+                    raise RuntimeError(
+                        f"distributed job {key[:12]} failed on worker "
+                        f"{failure.get('worker', '?')}: "
+                        f"{failure.get('error', '?')}\n"
+                        f"{failure.get('traceback', '')}")
+            if not outstanding:
+                break
+            self._reap_dead_workers(queue)
+            queue.requeue_stale(self.lease_s)
+            if not progressed:
+                if deadline is not None and time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"distributed backend timed out after "
+                        f"{self.timeout_s:g}s with {len(outstanding)} job(s) "
+                        f"outstanding in {queue.root}")
+                if not self._worker_procs \
+                        and time.monotonic() - last_warning > 30.0:
+                    # No spawned workers to watch (spawn_workers=False):
+                    # an external fleet may simply not be up yet, but
+                    # don't hang silently.
+                    last_warning = time.monotonic()
+                    logger.warning(
+                        "distributed backend waiting on %d job(s) with no "
+                        "spawned workers; start one with 'python -m "
+                        "repro.experiments worker --queue %s'",
+                        len(outstanding), queue.root)
+                time.sleep(0.05)
+        return gathered
 
 
 def run_jobs(jobs: Sequence[ExperimentJob],
@@ -243,6 +500,15 @@ def run_jobs(jobs: Sequence[ExperimentJob],
 _DEFAULT_SUITES: dict[tuple, ExperimentSuite] = {}
 
 
+@atexit.register
+def _close_default_suites() -> None:
+    # Memoized suites have no owning `with` block, so their spawned
+    # distributed workers (and any suite-owned temp queue directory)
+    # must be torn down at interpreter exit or they would linger.
+    for suite in _DEFAULT_SUITES.values():
+        suite.close()
+
+
 def default_suite() -> ExperimentSuite:
     """The process-wide suite the figure generators fall back to.
 
@@ -251,16 +517,22 @@ def default_suite() -> ExperimentSuite:
     signature changes:
 
     * ``PICTOR_WORKERS`` — worker-process count (default 1 = serial);
-    * ``PICTOR_CACHE_DIR`` — result cache directory (default: none).
+    * ``PICTOR_CACHE_DIR`` — result cache directory (default: none);
+    * ``PICTOR_BACKEND`` — pin a backend (default: inferred);
+    * ``PICTOR_QUEUE_DIR`` — work-queue directory (implies distributed).
 
-    Suites are memoized per configuration so a process pool is reused
-    across calls rather than respawned.
+    Suites are memoized per configuration so a process pool (or a fleet
+    of spawned queue workers) is reused across calls rather than
+    respawned.
     """
     workers = max(1, int(os.environ.get("PICTOR_WORKERS", "1") or "1"))
     cache_dir = os.environ.get("PICTOR_CACHE_DIR") or None
-    key = (workers, cache_dir)
+    backend = os.environ.get("PICTOR_BACKEND") or None
+    queue_dir = os.environ.get("PICTOR_QUEUE_DIR") or None
+    key = (workers, cache_dir, backend, queue_dir)
     suite = _DEFAULT_SUITES.get(key)
     if suite is None:
-        suite = ExperimentSuite(workers=workers, cache_dir=cache_dir)
+        suite = ExperimentSuite(workers=workers, cache_dir=cache_dir,
+                                backend=backend, queue_dir=queue_dir)
         _DEFAULT_SUITES[key] = suite
     return suite

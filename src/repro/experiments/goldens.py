@@ -23,7 +23,7 @@ that way so goldens are never rewritten silently.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 
 from repro.scenarios.config import ExperimentConfig
@@ -78,6 +78,16 @@ def golden_registry() -> dict[str, GoldenSpec]:
     for index, entry in enumerate(mix_entries):
         scenario = Scenario.from_dict(entry, config=_GOLDEN_CONFIG)
         name = f"mix3-{index}"
+        specs[name] = GoldenSpec(name, scenario)
+
+    # Network-degradation variants of the 3-way mix: the first
+    # figure-independent use of the link registries.  The kernel's event
+    # order under a degraded (or faster) link is behavior worth pinning —
+    # latency and bandwidth feed the per-packet event schedule directly.
+    degraded_base = Scenario.from_dict(mix_entries[0], config=_GOLDEN_CONFIG)
+    for network in ("cellular_5g", "broadband_10g"):
+        scenario = replace(degraded_base, network=network)
+        name = f"mix3-0-{network}"
         specs[name] = GoldenSpec(name, scenario)
     return specs
 

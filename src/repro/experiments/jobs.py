@@ -187,6 +187,17 @@ class ExperimentJob:
         return (self.scenario.config.duration_s if self.duration is None
                 else self.duration)
 
+    def cost_units(self) -> float:
+        """The job's a-priori cost (see :meth:`Scenario.cost_units`).
+
+        Units are comparable within one job kind; the executor's
+        :class:`~repro.experiments.cost.CostModel` carries per-kind rates
+        (``accuracy``/``inference`` jobs spend their time training, not
+        simulating), calibrated from the runtimes stamped into cache
+        entries.
+        """
+        return self.scenario.cost_units(self.duration)
+
     # -- identity ---------------------------------------------------------------------
     def key(self) -> str:
         """Content hash identifying this job's result in the cache."""

@@ -1,0 +1,295 @@
+"""A content-addressed work queue: the distributed backend's transport.
+
+The queue hands :class:`~repro.experiments.jobs.ExperimentJob` values
+(frozen, picklable, content-hashed) from one submitter to any number of
+workers, possibly on other machines.  :class:`WorkQueue` is the small
+transport-agnostic interface — a socket transport can slot in later —
+and :class:`DirectoryQueue` is the shipped implementation: a plain
+directory on a filesystem every participant can see.
+
+The directory protocol::
+
+    <queue>/
+      pending/   00000003-<key>.job            submitted, unclaimed
+      claimed/   00000003-<key>.job@<worker>   claimed by one worker
+      results/   <key>.pkl                     provenance-stamped ResultCache
+      failed/    <key>.json                    error + traceback markers
+      workers/   <worker>.log                  spawned-worker logs
+
+* **Submission** writes the pickled job atomically (temp file +
+  ``os.replace``) under a monotonically increasing priority prefix, so
+  the lexicographic order of ``pending/`` *is* the submission order —
+  the executor submits largest-estimated-cost first and workers drain in
+  exactly that order.  Submitting a key that is already pending,
+  claimed, or completed is a no-op (idempotent).
+* **Claiming** is one ``os.rename`` from ``pending/`` into ``claimed/``
+  — atomic on POSIX, so exactly one of any number of racing workers
+  wins; losers see ``FileNotFoundError`` and move to the next file.
+* **Completion** writes the result through the existing
+  :class:`~repro.experiments.executor.ResultCache` (the same
+  provenance-stamped format the in-process backends use) and removes the
+  claim.
+* **Crash recovery**: a dead worker leaves its claim file behind.
+  :meth:`requeue_stale` renames claims older than a lease back into
+  ``pending/`` (a successful claim refreshes its mtime, starting the
+  lease); :meth:`requeue_worker` requeues a specific worker's claims
+  immediately when the submitter *knows* it died (it spawned the
+  process).  Delivery is therefore **at least once** — a worker that
+  merely stalled past its lease may complete a job a second worker
+  re-ran — which is safe because :func:`execute_job` is deterministic:
+  both completions write byte-identical cache entries.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import os
+import pickle
+import re
+import socket
+import time
+import traceback
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.experiments.executor import ResultCache, atomic_write_bytes
+from repro.experiments.jobs import ExperimentJob
+
+__all__ = ["ClaimedJob", "DirectoryQueue", "QueueCounts", "WorkQueue",
+           "default_worker_id"]
+
+#: Zero-padded width of the submission-priority filename prefix.
+_PRIORITY_WIDTH = 8
+
+_SAFE_ID = re.compile(r"[^A-Za-z0-9._-]")
+
+
+def default_worker_id() -> str:
+    """A host-unique worker identity: ``<hostname>-<pid>``."""
+    return _SAFE_ID.sub("_", f"{socket.gethostname()}-{os.getpid()}")
+
+
+@dataclass(frozen=True)
+class ClaimedJob:
+    """One job a worker holds exclusively until completed/failed/requeued."""
+
+    key: str
+    job: ExperimentJob
+    worker_id: str
+    path: Path
+
+
+@dataclass(frozen=True)
+class QueueCounts:
+    pending: int = 0
+    claimed: int = 0
+    completed: int = 0
+    failed: int = 0
+
+
+class WorkQueue(abc.ABC):
+    """The transport-agnostic queue interface the executor programs against."""
+
+    @abc.abstractmethod
+    def submit(self, job: ExperimentJob) -> str:
+        """Enqueue ``job`` (idempotent per content hash); returns its key."""
+
+    @abc.abstractmethod
+    def claim(self, worker_id: Optional[str] = None) -> Optional[ClaimedJob]:
+        """Exclusively claim the highest-priority pending job, or None."""
+
+    @abc.abstractmethod
+    def complete(self, claimed: ClaimedJob, result,
+                 runtime_s: Optional[float] = None) -> None:
+        """Store the provenance-stamped result and release the claim."""
+
+    @abc.abstractmethod
+    def fail(self, claimed: ClaimedJob, error: BaseException) -> None:
+        """Record a failure marker for the job and release the claim."""
+
+    @abc.abstractmethod
+    def result_entry(self, key: str) -> Optional[dict]:
+        """The completed job's full cache entry, or None while outstanding."""
+
+    @abc.abstractmethod
+    def failure(self, key: str) -> Optional[dict]:
+        """The failure marker recorded for ``key``, or None."""
+
+    @abc.abstractmethod
+    def invalidate(self, key: str) -> None:
+        """Drop a completed result (e.g. one that failed validation)."""
+
+    @abc.abstractmethod
+    def requeue_stale(self, lease_s: float) -> list[str]:
+        """Requeue claims older than ``lease_s`` seconds; returns their keys."""
+
+    @abc.abstractmethod
+    def requeue_worker(self, worker_id: str) -> list[str]:
+        """Requeue every claim held by ``worker_id``; returns the keys."""
+
+    @abc.abstractmethod
+    def counts(self) -> QueueCounts:
+        """How many jobs sit in each lifecycle state."""
+
+
+class DirectoryQueue(WorkQueue):
+    """The shared-filesystem queue (see the module docstring protocol)."""
+
+    def __init__(self, root: os.PathLike | str):
+        self.root = Path(root)
+        self.pending_dir = self.root / "pending"
+        self.claimed_dir = self.root / "claimed"
+        self.failed_dir = self.root / "failed"
+        self.worker_log_dir = self.root / "workers"
+        for directory in (self.pending_dir, self.claimed_dir,
+                          self.failed_dir, self.worker_log_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+        #: Completed results, in the executor's provenance-stamped format.
+        self.results = ResultCache(self.root / "results")
+        self._sequence = self._next_sequence()
+
+    # -- filename helpers -------------------------------------------------------------
+    @staticmethod
+    def _key_of(name: str) -> str:
+        stem = name.split("@", 1)[0]             # drop any @worker suffix
+        stem = stem.split("-", 1)[1]             # drop the priority prefix
+        return stem[: -len(".job")]
+
+    def _next_sequence(self) -> int:
+        highest = -1
+        for directory in (self.pending_dir, self.claimed_dir):
+            for path in directory.iterdir():
+                prefix = path.name.split("-", 1)[0]
+                if prefix.isdigit():
+                    highest = max(highest, int(prefix))
+        return highest + 1
+
+    def _queued_keys(self) -> set[str]:
+        keys = set()
+        for directory in (self.pending_dir, self.claimed_dir):
+            for path in directory.iterdir():
+                if ".job" in path.name:
+                    keys.add(self._key_of(path.name))
+        return keys
+
+    # -- submitter side ---------------------------------------------------------------
+    def submit(self, job: ExperimentJob) -> str:
+        key = job.key()
+        if self.result_entry(key) is not None or key in self._queued_keys():
+            return key
+        name = f"{self._sequence:0{_PRIORITY_WIDTH}d}-{key}.job"
+        self._sequence += 1
+        atomic_write_bytes(self.root, self.pending_dir / name,
+                           pickle.dumps(job,
+                                        protocol=pickle.HIGHEST_PROTOCOL))
+        return key
+
+    def result_entry(self, key: str) -> Optional[dict]:
+        return self.results.get_entry(key)
+
+    def invalidate(self, key: str) -> None:
+        self.results.invalidate(key)
+
+    def failure(self, key: str) -> Optional[dict]:
+        path = self.failed_dir / f"{key}.json"
+        if not path.exists():
+            return None
+        try:
+            return json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return {"key": key, "error": "unreadable failure marker"}
+
+    def requeue_stale(self, lease_s: float) -> list[str]:
+        now = time.time()
+        requeued = []
+        for path in sorted(self.claimed_dir.iterdir()):
+            if "@" not in path.name:
+                continue
+            try:
+                claimed_at = path.stat().st_mtime
+            except FileNotFoundError:
+                continue                         # completed under our feet
+            if now - claimed_at >= lease_s:
+                if self._requeue(path):
+                    requeued.append(self._key_of(path.name))
+        return requeued
+
+    def requeue_worker(self, worker_id: str) -> list[str]:
+        suffix = f"@{_SAFE_ID.sub('_', worker_id)}"
+        requeued = []
+        for path in sorted(self.claimed_dir.iterdir()):
+            if path.name.endswith(suffix) and self._requeue(path):
+                requeued.append(self._key_of(path.name))
+        return requeued
+
+    def _requeue(self, claimed_path: Path) -> bool:
+        pending_name = claimed_path.name.split("@", 1)[0]
+        try:
+            os.rename(claimed_path, self.pending_dir / pending_name)
+        except FileNotFoundError:
+            return False                         # raced with completion
+        return True
+
+    def counts(self) -> QueueCounts:
+        return QueueCounts(
+            pending=sum(1 for p in self.pending_dir.iterdir()
+                        if p.name.endswith(".job")),
+            claimed=sum(1 for p in self.claimed_dir.iterdir()
+                        if "@" in p.name),
+            completed=len(self.results),
+            failed=sum(1 for p in self.failed_dir.iterdir()
+                       if p.name.endswith(".json")),
+        )
+
+    # -- worker side ------------------------------------------------------------------
+    def claim(self, worker_id: Optional[str] = None) -> Optional[ClaimedJob]:
+        worker = _SAFE_ID.sub("_", worker_id) if worker_id \
+            else default_worker_id()
+        for path in sorted(self.pending_dir.iterdir()):
+            if not path.name.endswith(".job"):
+                continue
+            target = self.claimed_dir / f"{path.name}@{worker}"
+            try:
+                # The lease clock is the claim file's mtime, and rename
+                # preserves mtime — so refresh it *before* the rename.
+                # Refreshing after would leave a window where a job that
+                # sat pending longer than the lease looks instantly
+                # stale and requeue_stale snatches the claim back.
+                os.utime(path)
+                os.rename(path, target)
+            except FileNotFoundError:
+                continue                         # another worker won the race
+            key = self._key_of(path.name)
+            try:
+                with target.open("rb") as handle:
+                    job = pickle.load(handle)
+            except Exception as error:
+                self._record_failure(key, error, worker)
+                target.unlink(missing_ok=True)
+                continue
+            return ClaimedJob(key=key, job=job, worker_id=worker, path=target)
+        return None
+
+    def complete(self, claimed: ClaimedJob, result,
+                 runtime_s: Optional[float] = None) -> None:
+        self.results.put(claimed.job, result, runtime_s=runtime_s)
+        # A claim requeued past its lease may already be gone (or even
+        # completed by another worker — byte-identical by determinism).
+        claimed.path.unlink(missing_ok=True)
+
+    def fail(self, claimed: ClaimedJob, error: BaseException) -> None:
+        self._record_failure(claimed.key, error, claimed.worker_id)
+        claimed.path.unlink(missing_ok=True)
+
+    def _record_failure(self, key: str, error: BaseException,
+                        worker: str) -> None:
+        marker = {
+            "key": key,
+            "worker": worker,
+            "error": repr(error),
+            "traceback": "".join(traceback.format_exception(error)),
+        }
+        atomic_write_bytes(self.root, self.failed_dir / f"{key}.json",
+                           json.dumps(marker, indent=2).encode("utf-8"))

@@ -1,0 +1,95 @@
+"""The standalone distributed-backend worker.
+
+A worker is deliberately dumb: it polls a :class:`~repro.experiments.
+queue.WorkQueue` for the highest-priority pending job, executes it with
+the same :func:`~repro.experiments.jobs.execute_job` the in-process
+backends use, writes the provenance-stamped result back through the
+queue's :class:`~repro.experiments.executor.ResultCache`, and repeats.
+All scheduling intelligence (cost-based packing, crash recovery,
+lease management) lives with the submitter.
+
+Run one per core, on any machine that can see the queue directory::
+
+    PYTHONPATH=src python -m repro.experiments worker --queue DIR
+
+:func:`run_worker` is the loop behind that entrypoint;
+:func:`spawn_worker` starts one as a local subprocess (what
+``ExperimentSuite``'s distributed backend does for you, and what the
+crash-recovery tests kill).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.experiments.jobs import execute_job
+from repro.experiments.queue import WorkQueue, default_worker_id
+
+__all__ = ["run_worker", "spawn_worker"]
+
+
+def run_worker(queue: WorkQueue, *, worker_id: Optional[str] = None,
+               poll_s: float = 0.2, max_jobs: Optional[int] = None,
+               idle_timeout_s: Optional[float] = None) -> int:
+    """Pull and execute jobs from ``queue``; returns how many completed.
+
+    Runs until ``max_jobs`` jobs have completed or the queue has stayed
+    empty for ``idle_timeout_s`` seconds (forever when both are None —
+    the spawning suite owns the process and terminates it on close).  A
+    job that raises is recorded as a failure marker and the worker moves
+    on; the submitter decides what a failure means.
+    """
+    worker = worker_id or default_worker_id()
+    executed = 0
+    idle_since = time.monotonic()
+    while max_jobs is None or executed < max_jobs:
+        claimed = queue.claim(worker)
+        if claimed is None:
+            if idle_timeout_s is not None \
+                    and time.monotonic() - idle_since >= idle_timeout_s:
+                break
+            time.sleep(poll_s)
+            continue
+        try:
+            started = time.perf_counter()
+            result = execute_job(claimed.job)
+            runtime_s = time.perf_counter() - started
+        except Exception as error:
+            queue.fail(claimed, error)
+        else:
+            queue.complete(claimed, result, runtime_s=runtime_s)
+            executed += 1
+        idle_since = time.monotonic()
+    return executed
+
+
+def spawn_worker(queue_root: os.PathLike | str, *, worker_id: str,
+                 poll_s: float = 0.05,
+                 idle_timeout_s: Optional[float] = None) -> subprocess.Popen:
+    """Start ``python -m repro.experiments worker`` against ``queue_root``.
+
+    The child inherits the current environment with this checkout's
+    ``src`` prepended to ``PYTHONPATH`` (tests and suites don't export
+    it), and its output goes to ``<queue>/workers/<worker_id>.log``.
+    """
+    import repro
+
+    src_root = Path(repro.__file__).resolve().parents[1]
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = str(src_root) + (os.pathsep + existing
+                                         if existing else "")
+    command = [sys.executable, "-m", "repro.experiments", "worker",
+               "--queue", str(queue_root), "--worker-id", worker_id,
+               "--poll", str(poll_s)]
+    if idle_timeout_s is not None:
+        command += ["--idle-timeout", str(idle_timeout_s)]
+    log_path = Path(queue_root) / "workers" / f"{worker_id}.log"
+    log_path.parent.mkdir(parents=True, exist_ok=True)
+    with log_path.open("ab") as log:
+        return subprocess.Popen(command, env=env, stdout=log, stderr=log)

@@ -195,6 +195,21 @@ class Scenario:
         base = self.config.seed if self.seed.base is None else self.seed.base
         return base + self.seed.offset
 
+    def cost_units(self, duration: Optional[float] = None) -> float:
+        """An a-priori cost for running this scenario, in abstract units.
+
+        Simulated seconds (warm-up plus the measurement interval, or
+        ``duration`` when the caller overrides it) times the instance
+        count: every instance adds its own event streams, so the event
+        volume — and therefore wall time on any backend — grows roughly
+        with this product.  The executor's cost model turns units into
+        wall-clock estimates (calibrated from cached runtimes) to pack
+        backends largest-first; ordering never affects results, only how
+        well the pool is utilized.
+        """
+        span = self.config.duration_s if duration is None else duration
+        return (self.config.warmup_s + span) * len(self.benchmarks)
+
     def describe(self) -> str:
         """A short human-readable label for progress output and tables."""
         names = []

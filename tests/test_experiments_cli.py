@@ -47,7 +47,8 @@ def test_scenario_subcommand_rejects_bad_specs(capsys):
 
 
 def test_scenario_subcommand_is_backend_invariant(capsys, tmp_path):
-    """Serial, parallel and cache-replay runs print bit-identical stdout."""
+    """Serial, parallel, distributed and cache-replay runs print
+    bit-identical stdout."""
     spec = tmp_path / "mixes.json"
     spec.write_text(
         '[{"placements": ["RE", "ITP", "D2"], "seed": {"offset": 900}},\n'
@@ -62,13 +63,17 @@ def test_scenario_subcommand_is_backend_invariant(capsys, tmp_path):
     assert main(base + ["--workers", "2"]) == 0
     parallel = capsys.readouterr().out
 
+    assert main(base + ["--backend", "distributed", "--workers", "2",
+                        "--queue", str(tmp_path / "queue")]) == 0
+    distributed = capsys.readouterr().out
+
     cache_dir = str(tmp_path / "cache")
     assert main(base + ["--cache-dir", cache_dir]) == 0
     warm = capsys.readouterr().out
     assert main(base + ["--cache-dir", cache_dir]) == 0
     replayed = capsys.readouterr().out
 
-    assert serial == parallel == warm == replayed
+    assert serial == parallel == distributed == warm == replayed
 
 
 def test_runs_a_figure_and_reports_stats(capsys, tmp_path):

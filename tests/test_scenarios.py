@@ -15,8 +15,14 @@ import sys
 from pathlib import Path
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.apps.registry import all_benchmarks
 from repro.experiments import ExperimentConfig
+from repro.scenarios.machines import MACHINE_SPECS
+from repro.scenarios.networks import NETWORKS
+from repro.scenarios.variants import SESSION_VARIANTS
 from repro.experiments.runner import (
     run_colocated,
     run_mixed_pair,
@@ -180,6 +186,80 @@ def test_variant_registry_names(config):
                                        slow_motion=True)) is None
     assert session_variant("optimized").memoize_window_attributes
     assert session_variant("optimized").two_step_frame_copy
+
+
+# -- property-based hash/round-trip invariants ----------------------------------------
+_scenario_strategy = st.builds(
+    lambda placements, variant, machine, network, containerized, offset, base: Scenario(
+        placements=tuple(Placement(b, count=c) for b, c in placements),
+        config=ExperimentConfig.smoke(seed=5),
+        variant=session_variant(variant),
+        machine=machine,
+        network=network,
+        containerized=containerized,
+        seed=SeedPolicy(offset=offset, base=base),
+    ),
+    placements=st.lists(
+        st.tuples(st.sampled_from(sorted(all_benchmarks())),
+                  st.integers(min_value=1, max_value=3)),
+        min_size=1, max_size=4),
+    variant=st.sampled_from(sorted(SESSION_VARIANTS)),
+    machine=st.sampled_from(sorted(MACHINE_SPECS)),
+    network=st.sampled_from(sorted(NETWORKS)),
+    containerized=st.booleans(),
+    offset=st.integers(min_value=0, max_value=999),
+    base=st.one_of(st.none(), st.integers(min_value=0, max_value=999)),
+)
+
+
+def _permuted(data, rng):
+    """``data`` with every dict's key insertion order shuffled, recursively."""
+    if isinstance(data, dict):
+        items = [(key, _permuted(value, rng)) for key, value in data.items()]
+        rng.shuffle(items)
+        return dict(items)
+    if isinstance(data, list):
+        return [_permuted(entry, rng) for entry in data]
+    return data
+
+
+@settings(max_examples=40, deadline=None)
+@given(scenario=_scenario_strategy)
+def test_round_trip_and_hash_fixpoint(scenario):
+    """to_dict/from_dict/content_hash is a fixpoint for any scenario."""
+    data = scenario.to_dict()
+    rebuilt = Scenario.from_dict(data)
+    assert rebuilt == scenario
+    assert rebuilt.content_hash() == scenario.content_hash()
+    assert rebuilt.to_dict() == data
+    # Placement construction order survives the round trip: the expanded
+    # per-instance benchmark sequence is preserved exactly.
+    assert rebuilt.benchmarks == scenario.benchmarks
+    assert rebuilt.placements == scenario.placements
+
+
+@settings(max_examples=40, deadline=None)
+@given(scenario=_scenario_strategy, rng=st.randoms(use_true_random=False))
+def test_content_hash_invariant_under_dict_key_order(scenario, rng):
+    """A spec means the same scenario no matter how its keys are ordered."""
+    shuffled = _permuted(scenario.to_dict(), rng)
+    rebuilt = Scenario.from_dict(shuffled)
+    assert rebuilt == scenario
+    assert rebuilt.content_hash() == scenario.content_hash()
+
+
+@settings(max_examples=40, deadline=None)
+@given(scenario=_scenario_strategy)
+def test_expanded_and_counted_placements_hash_identically(scenario):
+    """Per-instance expansion is a faithful, order-preserving encoding."""
+    expanded = Scenario(
+        placements=tuple(Placement(benchmark, agent=agent)
+                         for benchmark, agent in scenario.instances),
+        config=scenario.config, variant=scenario.variant,
+        machine=scenario.machine, containerized=scenario.containerized,
+        network=scenario.network, seed=scenario.seed)
+    assert expanded.benchmarks == scenario.benchmarks
+    assert expanded.content_hash() == scenario.content_hash()
 
 
 # -- execution equivalence ------------------------------------------------------------

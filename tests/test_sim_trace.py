@@ -9,7 +9,10 @@ parallel executor backend).
 
 from __future__ import annotations
 
+import subprocess
+import sys
 from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
 
 import pytest
 
@@ -140,10 +143,43 @@ def test_golden_traces_identical_across_process_backends():
         assert serial[name] == golden_path(name).read_text()
 
 
+def test_golden_trace_identical_in_a_cold_worker_process():
+    """A standalone interpreter — the distributed worker shape: a fresh
+    process with no inherited state, as started by `python -m
+    repro.experiments worker` on any machine — records the committed
+    bytes exactly.  Stronger than the pool test above, which forks and
+    therefore inherits this process's interpreter state."""
+    script = ("import sys\n"
+              "from repro.experiments.goldens import record_golden\n"
+              "sys.stdout.write(record_golden(sys.argv[1]))\n")
+    src = Path(__file__).resolve().parent.parent / "src"
+    proc = subprocess.run([sys.executable, "-c", script, "mix3-0"],
+                          capture_output=True, text=True,
+                          env={"PYTHONPATH": str(src)}, timeout=300)
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout == golden_path("mix3-0").read_text()
+
+
 def test_goldens_cover_the_registered_scenarios():
     registry = golden_registry()
-    assert set(registry) == {"single-re", "mix3-0", "mix3-1"}
+    assert set(registry) == {"single-re", "mix3-0", "mix3-1",
+                             "mix3-0-cellular_5g", "mix3-0-broadband_10g"}
     # mix3-1 exercises the optimized variant and a 4-way mix; single-re
     # is the single-app anchor.
     assert len(registry["mix3-1"].scenario.benchmarks) == 4
     assert registry["single-re"].scenario.benchmarks == ("RE",)
+    # The network-degradation variants share the 3-way mix's placements
+    # but run it over the degraded/faster link registries.
+    for network in ("cellular_5g", "broadband_10g"):
+        spec = registry[f"mix3-0-{network}"]
+        assert spec.scenario.network == network
+        assert spec.scenario.placements == registry["mix3-0"].scenario.placements
+
+
+def test_network_variant_goldens_are_distinct():
+    """Link latency/bandwidth feed the event schedule: each network pins
+    a genuinely different event order, not a relabeled copy."""
+    texts = {name: golden_path(name).read_text()
+             for name in ("mix3-0", "mix3-0-cellular_5g",
+                          "mix3-0-broadband_10g")}
+    assert len(set(texts.values())) == 3
