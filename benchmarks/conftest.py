@@ -20,7 +20,11 @@ the environment:
 ``PICTOR_WORKERS``
     worker-process count for the suite (default 1 = serial).
 ``PICTOR_CACHE_DIR``
-    content-addressed result cache shared between figures and runs.
+    content-addressed result store shared between figures and runs —
+    a SQLite database at ``$PICTOR_CACHE_DIR/results.sqlite`` (legacy
+    pickle entries in the directory migrate on first open), queryable
+    afterwards with ``python -m repro.experiments results list/diff
+    --store $PICTOR_CACHE_DIR``.
 ``PICTOR_BACKEND`` / ``PICTOR_QUEUE_DIR``
     pin an execution backend (``serial``/``parallel``/``distributed``)
     and, for the distributed one, the work-queue directory shared with

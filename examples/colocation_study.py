@@ -16,6 +16,12 @@ runs — is declared as experiment jobs and executed through one
 worker processes and the results are identical to a serial run.
 
 Run with:  PYTHONPATH=src python examples/colocation_study.py
+
+To keep the runs (and catch regressions between two checkouts), give the
+suite a ``cache_dir``: every result lands in a SQLite result database
+(``<cache_dir>/results.sqlite``) that ``python -m repro.experiments
+results diff A B`` compares metric by metric — two runs of this study
+must report zero deltas.
 """
 
 from __future__ import annotations

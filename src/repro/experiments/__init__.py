@@ -28,11 +28,13 @@ wrapped in :class:`~repro.experiments.jobs.ExperimentJob` lists that an
 across local worker processes, over a distributed work queue
 (:mod:`repro.experiments.queue` — drained by ``python -m
 repro.experiments worker`` processes on any machine sharing the queue
-directory), or out of a content-addressed result cache — always with
-bit-identical results, submitted largest-estimated-cost first
+directory), or out of the content-addressed SQLite result database
+(:mod:`repro.experiments.store`) — always with bit-identical results,
+submitted largest-estimated-cost first
 (:mod:`repro.experiments.cost`).  ``python -m repro.experiments``
-exposes the whole registry (and a ``scenario`` subcommand for running
-ad-hoc scenario specs) on the command line (see
+exposes the whole registry (plus a ``scenario`` subcommand for running
+ad-hoc scenario specs and a ``results`` subcommand for listing,
+showing, diffing and exporting stored results) on the command line (see
 :mod:`repro.experiments.figures`).
 """
 
@@ -41,9 +43,15 @@ from repro.experiments.cost import CostModel, order_by_cost
 from repro.experiments.executor import (
     BACKENDS,
     ExperimentSuite,
-    ResultCache,
     default_suite,
     run_jobs,
+)
+from repro.experiments.store import (
+    PickleResultCache,
+    ResultCache,
+    ResultStore,
+    diff_result_sets,
+    migrate_pickle_dir,
 )
 from repro.experiments.jobs import ExperimentJob, JobVariant, execute_job
 from repro.experiments.queue import DirectoryQueue, WorkQueue
@@ -66,14 +74,18 @@ __all__ = [
     "ExperimentJob",
     "ExperimentSuite",
     "JobVariant",
+    "PickleResultCache",
     "Placement",
     "ResultCache",
+    "ResultStore",
     "Scenario",
     "SeedPolicy",
     "SessionVariant",
     "WorkQueue",
     "default_suite",
+    "diff_result_sets",
     "execute_job",
+    "migrate_pickle_dir",
     "n_way_mixes",
     "order_by_cost",
     "run_colocated",

@@ -29,6 +29,23 @@ workers::
 Results are deterministic: serial, parallel, and distributed runs print
 bit-identical tables, and a second run against the same ``--cache-dir``
 replays without executing anything.
+
+Everything a run stores lands in the SQLite result database
+(``<cache-dir>/results.sqlite``); the ``results`` subcommand queries,
+diffs and exports it — ``results diff`` on two runs (or two revisions)
+is the figure-regression check CI performs::
+
+    PYTHONPATH=src python -m repro.experiments results list \
+        --store .pictor-cache --kind host
+    PYTHONPATH=src python -m repro.experiments results show 53ab2f \
+        --store .pictor-cache
+    PYTHONPATH=src python -m repro.experiments results diff \
+        .pictor-cache .pictor-cache-b
+    PYTHONPATH=src python -m repro.experiments results diff \
+        --store .pictor-cache deadbeef 53dad22 --tolerance 1e-9
+    PYTHONPATH=src python -m repro.experiments results export \
+        --store .pictor-cache --format csv -o results.csv
+    PYTHONPATH=src python -m repro.experiments results migrate old-cache/
 """
 
 from __future__ import annotations
@@ -155,6 +172,101 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--list", action="store_true", dest="list_goldens",
                        help="list the registered golden scenarios and exit")
 
+    results = subcommands.add_parser(
+        "results",
+        help="query, diff and export the SQLite result database",
+        description="Query the result store a suite run filled "
+                    "(--cache-dir DIR stores rows in DIR/results.sqlite), "
+                    "diff two result sets or two git revisions metric by "
+                    "metric, export rows as JSON/CSV, or migrate a legacy "
+                    "pickle cache directory.")
+    results_sub = results.add_subparsers(dest="results_command",
+                                         metavar="action", required=True)
+
+    def add_store(sub):
+        sub.add_argument("--store", default=None, metavar="PATH",
+                         help="result store: a cache directory or a "
+                              ".sqlite file")
+
+    def add_filters(sub):
+        sub.add_argument("--kind", default=None,
+                         help="only rows of this job kind")
+        sub.add_argument("--scenario-hash", default=None, metavar="HASH",
+                         help="only rows whose scenario hash starts with HASH")
+        sub.add_argument("--git-rev", default=None, metavar="REV",
+                         help="only rows written at this revision (prefix)")
+
+    results_list = results_sub.add_parser(
+        "list", help="list stored result rows (provenance only)",
+        description="List the provenance columns of stored rows — no "
+                    "result payload is unpickled.  --figure restricts the "
+                    "listing to the keys a figure's job list produces "
+                    "under the given --profile/--seed/... configuration.")
+    add_store(results_list)
+    add_filters(results_list)
+    results_list.add_argument("--figure", default=None, metavar="NAME",
+                              help="only rows belonging to this figure's "
+                                   "job list (see --list)")
+    results_list.add_argument("--limit", type=int, default=None, metavar="N",
+                              help="show at most N rows (newest first)")
+    _add_config_options(results_list, suppress_defaults=True)
+
+    results_show = results_sub.add_parser(
+        "show", help="show one row's full provenance and result",
+        description="Print one stored row — provenance stamps plus the "
+                    "result payload's plain-data form — as JSON.")
+    results_show.add_argument("key", help="result key (a unique prefix is "
+                                          "enough)")
+    add_store(results_show)
+
+    results_diff = results_sub.add_parser(
+        "diff", help="compare two result sets (or revisions) per metric",
+        description="Compare result sets A and B metric by metric.  A and "
+                    "B are result store paths (cache directories or "
+                    ".sqlite files), or — with --store — git revisions "
+                    "(prefixes) within one store.  Exits 1 when any key "
+                    "or metric differs beyond the tolerance, so CI can "
+                    "assert that two runs of the same scenarios agree.")
+    results_diff.add_argument("a", help="result store path, or git rev "
+                                        "with --store")
+    results_diff.add_argument("b", help="result store path, or git rev "
+                                        "with --store")
+    add_store(results_diff)
+    results_diff.add_argument("--tolerance", type=float, default=0.0,
+                              metavar="T",
+                              help="relative tolerance per metric "
+                                   "(default 0: bit-identical)")
+    results_diff.add_argument("--report", default=None, metavar="FILE",
+                              help="also write the full diff report as "
+                                   "JSON to FILE")
+    results_diff.add_argument("--max-deltas", type=int, default=20,
+                              metavar="N",
+                              help="print at most N metric deltas "
+                                   "(default 20)")
+
+    results_export = results_sub.add_parser(
+        "export", help="export rows (provenance + metrics) as JSON or CSV",
+        description="Export stored rows with their provenance stamps and "
+                    "the flattened numeric metrics of each result payload.")
+    add_store(results_export)
+    add_filters(results_export)
+    results_export.add_argument("--format", choices=("json", "csv"),
+                                default="json", dest="export_format",
+                                help="output format (default: json)")
+    results_export.add_argument("-o", "--output", default=None, metavar="FILE",
+                                help="write to FILE (default: stdout)")
+
+    results_migrate = results_sub.add_parser(
+        "migrate", help="migrate a legacy pickle cache into the store",
+        description="One-shot import of a pickle-directory cache's "
+                    "entries into a result database (idempotent: existing "
+                    "rows are skipped, pickle files are left in place).  "
+                    "Without --store the database is created inside the "
+                    "source directory itself.")
+    results_migrate.add_argument("source", metavar="DIR",
+                                 help="legacy pickle cache directory")
+    add_store(results_migrate)
+
     worker = subcommands.add_parser(
         "worker",
         help="run a distributed-backend worker against a work queue",
@@ -280,6 +392,246 @@ def _run_trace(args) -> int:
     return 0
 
 
+def _scenario_label(scenario: dict) -> str:
+    """A short ``RE+ITPx2`` style label from a stored scenario dict."""
+    names = []
+    for placement in scenario.get("placements", ()):
+        if isinstance(placement, str):
+            names.append(placement)
+            continue
+        label = str(placement.get("benchmark", "?"))
+        if placement.get("count", 1) > 1:
+            label += f"x{placement['count']}"
+        if placement.get("agent", "human") != "human":
+            label += f"({placement['agent']})"
+        names.append(label)
+    return "+".join(names) or "-"
+
+
+def _plain_result(result):
+    """A JSON-friendly form of a stored result payload."""
+    import dataclasses
+    if hasattr(result, "as_dict"):
+        return result.as_dict()
+    if dataclasses.is_dataclass(result) and not isinstance(result, type):
+        return dataclasses.asdict(result)
+    return result
+
+
+def _open_existing_store(path: str):
+    """Open a store that already exists — read-only commands must never
+    conjure an empty database out of a typo'd path (a diff against an
+    accidentally fresh store would pass vacuously)."""
+    from repro.experiments.store import RESULT_DB_FILENAME, ResultStore
+    given = Path(path)
+    db = given if given.suffix in (".sqlite", ".db") \
+        else given / RESULT_DB_FILENAME
+    if not db.exists() and not (given.is_dir()
+                                and any(given.glob("*.pkl"))):
+        raise ValueError(f"no result database at {db} (and no legacy "
+                         "*.pkl entries to migrate); a suite run with "
+                         "--cache-dir creates one")
+    return ResultStore(path)
+
+
+def _require_store(args):
+    if args.store is None:
+        raise ValueError("pass --store PATH (the run's --cache-dir, or a "
+                         ".sqlite file)")
+    return _open_existing_store(args.store)
+
+
+def _resolve_result_set(token: str, store_path: Optional[str]):
+    """(key → entry, label) for one ``results diff`` operand: a result
+    store path, or — with ``--store`` — a git revision prefix."""
+    path = Path(token)
+    if (path.suffix in (".sqlite", ".db") and path.exists()) or path.is_dir():
+        return _open_existing_store(token).result_set(), str(token)
+    if store_path is None:
+        raise ValueError(
+            f"{token!r} is not a result store path; to compare git "
+            "revisions, name the database with --store")
+    return (_open_existing_store(store_path).result_set(git_rev=token),
+            f"{token}@{store_path}")
+
+
+def _results_list(args) -> int:
+    store = _require_store(args)
+    keys = None
+    if args.figure is not None:
+        if args.figure not in FIGURES:
+            raise ValueError(f"unknown figure {args.figure!r}; known: "
+                             f"{', '.join(figure_names())}")
+        config = make_config(args)
+        keys = {job.key() for job in FIGURES[args.figure].build_jobs(config)}
+    rows = store.rows(kind=args.kind, scenario_hash=args.scenario_hash,
+                      git_rev=args.git_rev, keys=keys)
+    total = len(rows)
+    if args.limit is not None:
+        rows = rows[:args.limit]
+    display = [{
+        "key": row["key"][:12],
+        "kind": row["kind"],
+        "scenario": _scenario_label(row["scenario"]),
+        "scenario_hash": (row["scenario_hash"] or "")[:12],
+        "git_rev": (row["git_rev"] or "")[:12],
+        "runtime_s": (None if row["runtime_s"] is None
+                      else round(row["runtime_s"], 3)),
+        "cost_units": row["cost_units"],
+    } for row in rows]
+    title = (f"{total} result row(s) in {store.db_path}"
+             + (f" (showing {len(rows)})" if len(rows) < total else ""))
+    if display:
+        print(format_rows(display, title=title))
+    else:
+        print(title)
+    return 0
+
+
+def _results_show(args) -> int:
+    store = _require_store(args)
+    keys = sorted({row["key"] for row in store.rows()
+                   if row["key"].startswith(args.key)})
+    if not keys:
+        raise ValueError(f"no stored result key starts with {args.key!r}")
+    if len(keys) > 1:
+        raise ValueError(f"key prefix {args.key!r} is ambiguous: "
+                         + ", ".join(key[:12] for key in keys))
+    entry = store.get_entry(keys[0])
+    if entry is None:
+        print(f"error: entry {keys[0][:12]} failed validation (see log)",
+              file=sys.stderr)
+        return 1
+    payload = {name: value for name, value in entry.items()
+               if name != "result"}
+    payload["result"] = _plain_result(entry.get("result"))
+    print(json.dumps(payload, indent=2, sort_keys=True, default=str))
+    return 0
+
+
+def _results_diff(args) -> int:
+    from repro.experiments.store import diff_result_sets
+    set_a, label_a = _resolve_result_set(args.a, args.store)
+    set_b, label_b = _resolve_result_set(args.b, args.store)
+    report = diff_result_sets(set_a, set_b, tolerance=args.tolerance)
+
+    print(f"results diff: A={label_a} ({len(set_a)} result(s)) "
+          f"vs B={label_b} ({len(set_b)} result(s))")
+    print(f"{report.matched} matched, {report.identical} identical, "
+          f"{len(report.deltas)} metric delta(s), "
+          f"{len(report.only_in_a)} only in A, "
+          f"{len(report.only_in_b)} only in B")
+    for key in report.only_in_a:
+        print(f"  only in A: {key[:12]}")
+    for key in report.only_in_b:
+        print(f"  only in B: {key[:12]}")
+    for delta in report.deltas[:args.max_deltas]:
+        print(f"  {delta.key[:12]} {delta.metric}: "
+              f"{delta.a!r} -> {delta.b!r}")
+    if len(report.deltas) > args.max_deltas:
+        print(f"  ... and {len(report.deltas) - args.max_deltas} more "
+              "delta(s)")
+
+    if args.report:
+        document = {"a": label_a, "b": label_b,
+                    "tolerance": args.tolerance, **report.to_dict()}
+        Path(args.report).write_text(json.dumps(document, indent=2) + "\n")
+        print(f"report written to {args.report}", file=sys.stderr)
+
+    if report.empty():
+        print("no differences")
+        return 0
+    return 1
+
+
+def _results_export(args) -> int:
+    import csv
+    import io
+
+    from repro.experiments.store import entry_metrics
+    store = _require_store(args)
+    entries = store.result_set(git_rev=args.git_rev)
+    rows = []
+    for key in sorted(entries):
+        entry = entries[key]
+        if args.kind is not None and entry.get("kind") != args.kind:
+            continue
+        if args.scenario_hash is not None and not str(
+                entry.get("scenario_hash", "")).startswith(args.scenario_hash):
+            continue
+        rows.append({
+            "key": key,
+            "kind": entry.get("kind"),
+            "scenario": _scenario_label(entry.get("scenario", {})),
+            "scenario_hash": entry.get("scenario_hash"),
+            "git_rev": entry.get("git_rev"),
+            "duration": entry.get("duration"),
+            "runtime_s": entry.get("runtime_s"),
+            "cost_units": entry.get("cost_units"),
+            "metrics": entry_metrics(entry),
+        })
+
+    if args.export_format == "json":
+        text = json.dumps(rows, indent=2, sort_keys=True) + "\n"
+    else:
+        provenance = ("key", "kind", "scenario", "scenario_hash", "git_rev",
+                      "duration", "runtime_s", "cost_units")
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(list(provenance) + ["metric", "value"])
+        for row in rows:
+            stamp = [row[name] for name in provenance]
+            for metric in sorted(row["metrics"]):
+                writer.writerow(stamp + [metric, row["metrics"][metric]])
+        text = buffer.getvalue()
+
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"exported {len(rows)} result(s) to {args.output}",
+              file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _results_migrate(args) -> int:
+    from repro.experiments.store import (
+        RESULT_DB_FILENAME,
+        ResultStore,
+        migrate_pickle_dir,
+    )
+    source = Path(args.source)
+    if not source.is_dir():
+        raise ValueError(f"{args.source!r} is not a directory")
+    target = Path(args.store) if args.store else source
+    if target.suffix not in (".sqlite", ".db"):
+        target = target / RESULT_DB_FILENAME
+    # An explicit database path skips the constructor's auto-migration,
+    # so the report below reflects exactly what this invocation did.
+    store = ResultStore(target)
+    report = migrate_pickle_dir(store, source)
+    print(f"migrated {report.migrated} entr"
+          f"{'y' if report.migrated == 1 else 'ies'} from {source} into "
+          f"{store.db_path} ({report.skipped} already present, "
+          f"{report.rejected} rejected)")
+    return 0
+
+
+def _run_results(args) -> int:
+    handlers = {
+        "list": _results_list,
+        "show": _results_show,
+        "diff": _results_diff,
+        "export": _results_export,
+        "migrate": _results_migrate,
+    }
+    try:
+        return handlers[args.results_command](args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
 def _run_worker(args) -> int:
     from repro.experiments.queue import DirectoryQueue, default_worker_id
     from repro.experiments.worker import run_worker
@@ -301,6 +653,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         return _run_scenarios(args)
     if getattr(args, "command", None) == "trace":
         return _run_trace(args)
+    if getattr(args, "command", None) == "results":
+        return _run_results(args)
     if getattr(args, "command", None) == "worker":
         return _run_worker(args)
 

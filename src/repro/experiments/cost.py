@@ -23,8 +23,8 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping, Sequence
 
 if TYPE_CHECKING:  # import cycle: executor imports this module
-    from repro.experiments.executor import ResultCache
     from repro.experiments.jobs import ExperimentJob
+    from repro.experiments.store import ResultStore
 
 __all__ = ["CostCalibration", "CostModel", "order_by_cost"]
 
@@ -44,10 +44,10 @@ class CostModel:
         return job.cost_units() * self.rates.get(job.kind, 1.0)
 
     @classmethod
-    def calibrated(cls, cache: "ResultCache") -> "CostModel":
-        """A model whose per-kind rates are fit from cached runtimes.
+    def calibrated(cls, cache: "ResultStore") -> "CostModel":
+        """A model whose per-kind rates are fit from stored runtimes.
 
-        Every executed job's cache entry records how long it actually
+        Every executed job's store row records how long it actually
         took (``runtime_s``) and its a-priori cost (``cost_units``); the
         rate for a kind is total runtime over total units, so large jobs
         dominate the fit — exactly the jobs packing must get right.
@@ -60,10 +60,10 @@ class CostModel:
 class CostCalibration:
     """Mutable per-kind runtime/unit totals that feed a :class:`CostModel`.
 
-    The executor seeds one from the on-disk cache **once** per suite
-    (scanning entries means unpickling full result payloads, so doing it
-    per batch would be wasteful) and then feeds it each executed job's
-    observed runtime in memory.
+    The executor seeds one from the result store **once** per suite (a
+    single SQL pass over the provenance columns — no result payloads are
+    unpickled) and then feeds it each executed job's observed runtime in
+    memory.
     """
 
     unit_totals: dict = field(default_factory=dict)
@@ -82,10 +82,23 @@ class CostCalibration:
                      entry.get("runtime_s"))
 
     @classmethod
-    def from_cache(cls, cache: "ResultCache") -> "CostCalibration":
+    def from_cache(cls, cache: "ResultStore") -> "CostCalibration":
+        """Seed a calibration from a result store (or any cache-alike).
+
+        A :class:`~repro.experiments.store.ResultStore` serves the three
+        calibration columns straight from SQL; anything without
+        ``calibration_rows`` (e.g. the legacy
+        :class:`~repro.experiments.store.PickleResultCache`) falls back
+        to iterating full entries.
+        """
         calibration = cls()
-        for entry in cache.entries():
-            calibration.observe_entry(entry)
+        rows = getattr(cache, "calibration_rows", None)
+        if rows is not None:
+            for kind, units, runtime_s in rows():
+                calibration.observe(kind, units, runtime_s)
+        else:
+            for entry in cache.entries():
+                calibration.observe_entry(entry)
         return calibration
 
     def model(self) -> CostModel:

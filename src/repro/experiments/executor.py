@@ -5,9 +5,12 @@ and returns their results in the same order.  Three layers cooperate:
 
 * **deduplication** — identical jobs in one submission execute once
   (several figures slice the same testbed runs);
-* **caching** — with a ``cache_dir``, results are stored on disk keyed
-  by the job's content hash, so re-running a figure (or another figure
-  sharing its runs) replays instantly and bit-identically;
+* **caching** — with a ``cache_dir``, results are stored in the SQLite
+  result database (:class:`~repro.experiments.store.ResultStore`, at
+  ``<cache_dir>/results.sqlite``) keyed by the job's content hash, so
+  re-running a figure (or another figure sharing its runs) replays
+  instantly and bit-identically — and the accumulated rows are
+  queryable/diffable with ``python -m repro.experiments results``;
 * **execution backend** — ``serial`` runs jobs in-process; ``parallel``
   fans them out over a :class:`concurrent.futures.ProcessPoolExecutor`;
   ``distributed`` submits them to a shared-filesystem work queue
@@ -30,65 +33,35 @@ from __future__ import annotations
 import atexit
 import logging
 import os
-import pickle
 import shutil
 import subprocess
 import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from functools import lru_cache
 from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.experiments.cost import CostCalibration, CostModel, order_by_cost
-from repro.experiments.jobs import CACHE_SCHEMA_VERSION, ExperimentJob, execute_job
+from repro.experiments.jobs import ExperimentJob, execute_job
+# Re-exported for compatibility: these lived here before the SQLite
+# result store split out; ResultCache is now a thin shim over
+# ResultStore (see repro.experiments.store).
+from repro.experiments.store import (
+    ResultCache,
+    ResultStore,
+    atomic_write_bytes,
+    current_git_rev,
+)
 
-__all__ = ["BACKENDS", "ExperimentSuite", "ResultCache", "SuiteStats",
-           "current_git_rev", "default_suite", "run_jobs"]
+__all__ = ["BACKENDS", "ExperimentSuite", "ResultCache", "ResultStore",
+           "SuiteStats", "atomic_write_bytes", "current_git_rev",
+           "default_suite", "run_jobs"]
 
 logger = logging.getLogger(__name__)
 
 #: The execution backends a suite can run jobs on.
 BACKENDS = ("serial", "parallel", "distributed")
-
-
-def atomic_write_bytes(directory: Path, path: Path, payload: bytes) -> None:
-    """Write ``payload`` to ``path`` via temp file + rename, so readers
-    (and racing writers — last one wins whole) never see a partial file.
-
-    ``directory`` must be on the same filesystem as ``path`` (it is the
-    temp file's home; ``os.replace`` must not cross devices).
-    """
-    fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            handle.write(payload)
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
-
-
-@lru_cache(maxsize=1)
-def current_git_rev() -> str:
-    """The repository's HEAD revision, or "unknown" outside a checkout.
-
-    Stamped into cache entries (provenance only — never part of the cache
-    key, or replays across commits would always miss).
-    """
-    try:
-        proc = subprocess.run(
-            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
-            cwd=Path(__file__).resolve().parent, timeout=10)
-        if proc.returncode == 0:
-            return proc.stdout.strip()
-    except (OSError, subprocess.SubprocessError):
-        pass
-    return "unknown"
 
 
 @dataclass
@@ -107,110 +80,6 @@ class SuiteStats:
             deduplicated=self.deduplicated + other.deduplicated,
             cache_hits=self.cache_hits + other.cache_hits,
         )
-
-
-class ResultCache:
-    """Content-addressed on-disk store of provenance-stamped job results.
-
-    Keys are the jobs' SHA-256 content hashes (over the scenario, kind
-    and duration override), so any change to the placement list, any
-    :class:`ExperimentConfig` field, any session-variant knob or the seed
-    policy produces a different key and the stale entry is never
-    consulted.  Each entry additionally records *how* it was produced —
-    cache schema version, the scenario's own dict and content hash, the
-    git revision, and the wall-clock runtime plus a-priori cost units of
-    the run that produced it (the cost model's calibration data) — so
-    cross-PR figure regressions are diffable and a schema break or a
-    tampered entry is **logged** when detected rather than silently
-    recomputed.
-    """
-
-    def __init__(self, root: os.PathLike | str):
-        self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
-
-    def _path(self, key: str) -> Path:
-        return self.root / f"{key}.pkl"
-
-    def get(self, job: ExperimentJob):
-        """The cached result for ``job``, or None when absent/unusable.
-
-        Beyond the schema check in :meth:`get_entry`, the entry's stamped
-        scenario hash must match the requesting job's scenario — a
-        mismatch means the entry was tampered with (or filed under the
-        wrong key) and is rejected with a log line, never replayed.
-        """
-        entry = self.get_entry(job.key())
-        if entry is None:
-            return None
-        expected = job.scenario.content_hash()
-        stamped = entry.get("scenario_hash")
-        if stamped != expected:
-            logger.warning(
-                "rejecting tampered cache entry %s: stamped scenario hash "
-                "%s does not match the job's scenario %s (written at git "
-                "rev %s); recomputing", self._path(job.key()), stamped,
-                expected, entry.get("git_rev", "unknown"))
-            return None
-        return entry.get("result")
-
-    def get_entry(self, key: str) -> Optional[dict]:
-        """The full provenance-stamped entry for ``key``, or None."""
-        path = self._path(key)
-        if not path.exists():
-            return None
-        try:
-            with path.open("rb") as handle:
-                entry = pickle.load(handle)
-        except Exception:
-            logger.warning("cache entry %s is unreadable; recomputing", path)
-            return None
-        if not isinstance(entry, dict) or "schema" not in entry:
-            logger.warning(
-                "cache entry %s predates provenance stamping; recomputing", path)
-            return None
-        if entry["schema"] != CACHE_SCHEMA_VERSION:
-            logger.warning(
-                "rejecting stale cache entry %s: schema version %s != current "
-                "%s (written at git rev %s); recomputing", path,
-                entry["schema"], CACHE_SCHEMA_VERSION,
-                entry.get("git_rev", "unknown"))
-            return None
-        return entry
-
-    def entries(self):
-        """Iterate every readable current-schema entry (stamps included)."""
-        for path in sorted(self.root.glob("*.pkl")):
-            entry = self.get_entry(path.stem)
-            if entry is not None:
-                yield entry
-
-    def put(self, job: ExperimentJob, result,
-            runtime_s: Optional[float] = None) -> None:
-        """Store ``result`` with provenance, atomically (rename) so readers
-        never see a half-written entry."""
-        entry = {
-            "schema": CACHE_SCHEMA_VERSION,
-            "key": job.key(),
-            "kind": job.kind,
-            "duration": job.duration,
-            "scenario": job.scenario.to_dict(),
-            "scenario_hash": job.scenario.content_hash(),
-            "git_rev": current_git_rev(),
-            "runtime_s": runtime_s,
-            "cost_units": job.cost_units(),
-            "result": result,
-        }
-        atomic_write_bytes(self.root, self._path(job.key()),
-                           pickle.dumps(entry,
-                                        protocol=pickle.HIGHEST_PROTOCOL))
-
-    def invalidate(self, key: str) -> None:
-        """Drop the entry for ``key`` (e.g. one that failed validation)."""
-        self._path(key).unlink(missing_ok=True)
-
-    def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*.pkl"))
 
 
 def _timed_execute(job: ExperimentJob) -> tuple:
@@ -260,7 +129,9 @@ class ExperimentSuite:
         if self.queue_dir is not None and self.backend != "distributed":
             raise ValueError("queue_dir only applies to the distributed "
                              f"backend, not {self.backend!r}")
-        self._cache = ResultCache(self.cache_dir) if self.cache_dir else None
+        # The canonical result path of every backend: the SQLite result
+        # store (a legacy pickle directory migrates itself on open).
+        self._cache = ResultStore(self.cache_dir) if self.cache_dir else None
         self._pool: Optional[ProcessPoolExecutor] = None
         self._queue = None
         self._owned_queue_dir: Optional[Path] = None
@@ -348,9 +219,9 @@ class ExperimentSuite:
         return order_by_cost(jobs, self._cost_model())
 
     def _cost_model(self) -> CostModel:
-        # The disk scan (which unpickles full result payloads) happens
-        # once per suite; every batch executed afterwards feeds the
-        # calibration in memory via run().
+        # The store scan (one SQL pass over the provenance columns, no
+        # result payloads unpickled) happens once per suite; every batch
+        # executed afterwards feeds the calibration in memory via run().
         if self._calibration is None:
             cache = self._cache
             if cache is None and self.backend == "distributed":
@@ -440,7 +311,7 @@ class ExperimentSuite:
                     job = outstanding[key]
                     if entry.get("scenario_hash") \
                             != job.scenario.content_hash():
-                        # Same contract as ResultCache.get: a tampered
+                        # Same contract as ResultStore.get: a tampered
                         # entry (here: pre-existing in a shared queue,
                         # since submit() skips already-completed keys) is
                         # rejected with a log line and re-executed.
@@ -448,7 +319,7 @@ class ExperimentSuite:
                             "rejecting tampered cache entry %s: stamped "
                             "scenario hash %s does not match the job's "
                             "scenario %s (written at git rev %s); "
-                            "recomputing", queue.results._path(key),
+                            "recomputing", queue.results.locate(key),
                             entry.get("scenario_hash"),
                             job.scenario.content_hash(),
                             entry.get("git_rev", "unknown"))

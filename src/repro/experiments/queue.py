@@ -12,7 +12,7 @@ The directory protocol::
     <queue>/
       pending/   00000003-<key>.job            submitted, unclaimed
       claimed/   00000003-<key>.job@<worker>   claimed by one worker
-      results/   <key>.pkl                     provenance-stamped ResultCache
+      results/   results.sqlite                provenance-stamped ResultStore
       failed/    <key>.json                    error + traceback markers
       workers/   <worker>.log                  spawned-worker logs
 
@@ -25,9 +25,12 @@ The directory protocol::
 * **Claiming** is one ``os.rename`` from ``pending/`` into ``claimed/``
   — atomic on POSIX, so exactly one of any number of racing workers
   wins; losers see ``FileNotFoundError`` and move to the next file.
-* **Completion** writes the result through the existing
-  :class:`~repro.experiments.executor.ResultCache` (the same
-  provenance-stamped format the in-process backends use) and removes the
+* **Completion** writes the result through the SQLite
+  :class:`~repro.experiments.store.ResultStore` (the same
+  provenance-stamped rows the in-process backends write; rollback
+  journal + a busy timeout coordinate concurrent workers, including
+  workers on other machines — with the usual SQLite caveat that the
+  shared filesystem's advisory locking must work) and removes the
   claim.
 * **Crash recovery**: a dead worker leaves its claim file behind.
   :meth:`requeue_stale` renames claims older than a lease back into
@@ -54,8 +57,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional
 
-from repro.experiments.executor import ResultCache, atomic_write_bytes
 from repro.experiments.jobs import ExperimentJob
+from repro.experiments.store import ResultStore, atomic_write_bytes
 
 __all__ = ["ClaimedJob", "DirectoryQueue", "QueueCounts", "WorkQueue",
            "default_worker_id"]
@@ -146,8 +149,12 @@ class DirectoryQueue(WorkQueue):
         for directory in (self.pending_dir, self.claimed_dir,
                           self.failed_dir, self.worker_log_dir):
             directory.mkdir(parents=True, exist_ok=True)
-        #: Completed results, in the executor's provenance-stamped format.
-        self.results = ResultCache(self.root / "results")
+        #: Completed results: the shared SQLite result database, in the
+        #: same provenance-stamped rows the in-process backends write.
+        #: Rollback-journal mode (wal=False): queue participants may sit
+        #: on different machines, and WAL's shared-memory coordination
+        #: does not span hosts.
+        self.results = ResultStore(self.root / "results", wal=False)
         self._sequence = self._next_sequence()
 
     # -- filename helpers -------------------------------------------------------------

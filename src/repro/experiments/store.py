@@ -1,0 +1,669 @@
+"""The SQLite result database: the canonical store of experiment results.
+
+:class:`ResultStore` replaces the pickle-directory cache as the single
+result path of every execution backend — serial and parallel suites
+write their cache through it, distributed workers complete queue jobs
+into it, and the cost model calibrates from it with one SQL scan instead
+of unpickling a directory of payloads.  :class:`ResultCache` (the name
+the rest of the codebase grew up with) is now a thin compatibility shim
+over the store, and :class:`PickleResultCache` keeps the legacy
+one-file-per-entry format alive for migration and for the equivalence
+tests that prove a pickle replay and a store replay are bit-identical.
+
+Each row carries the full provenance stamp the pickle cache introduced —
+cache schema version, the scenario's dict and content hash, the job
+kind and duration override, the git revision, and the ``runtime_s`` /
+``cost_units`` calibration pair — **plus** the pickled entry itself, so
+:meth:`ResultStore.get_entry` returns exactly the dict the pickle cache
+did.  The provenance columns exist so the database is *queryable*: the
+``python -m repro.experiments results`` CLI lists, shows, diffs and
+exports rows by kind / scenario hash / git revision without touching a
+single result payload.
+
+Rows are keyed ``(key, git_rev)`` — the job's content hash plus the
+revision that produced it — so one durable database accumulates results
+across commits and ``results diff`` can compare two revs-of-record (or
+two databases) metric by metric.  Replays always read the newest row
+for a key; determinism makes any row equally valid, and the two
+documented rejection paths ("rejecting stale cache entry", "rejecting
+tampered cache entry") are checked on every read exactly as the pickle
+cache checked them, with the same log lines.
+
+Concurrency: by default the database opens in WAL mode with a generous
+busy timeout, so any number of processes on one machine (a suite plus
+its spawned workers, or several suites) write simultaneously — writers
+queue on the WAL lock instead of failing, readers never block.  WAL's
+cross-process coordination lives in a shared-memory file, which does
+**not** span machines; stores meant to be written from several hosts
+over a shared filesystem (the distributed queue's results database)
+open with ``wal=False`` — the rollback journal, whose POSIX advisory
+locks are the same primitive multi-host SQLite has always relied on.
+The usual SQLite caveat applies: a network filesystem with broken
+advisory locking can corrupt any shared database; on such mounts, give
+each worker machine its own queue.  Opening a store rooted at a
+directory that still contains legacy ``*.pkl`` entries migrates them in
+one shot (idempotently — re-runs skip rows that already exist), so
+existing cache directories promote themselves.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import pickle
+import sqlite3
+import subprocess
+import tempfile
+import time
+from dataclasses import dataclass, field, is_dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.experiments.jobs import CACHE_SCHEMA_VERSION
+
+if TYPE_CHECKING:
+    from repro.experiments.jobs import ExperimentJob
+
+__all__ = ["DiffDelta", "DiffReport", "MigrationReport", "PickleResultCache",
+           "RESULT_DB_FILENAME", "ResultCache", "ResultStore",
+           "atomic_write_bytes", "current_git_rev", "diff_result_sets",
+           "entry_metrics", "flatten_metrics", "migrate_pickle_dir"]
+
+logger = logging.getLogger(__name__)
+
+#: The database file a store keeps inside its root directory.
+RESULT_DB_FILENAME = "results.sqlite"
+
+#: How long a writer waits on a locked database before giving up.  High
+#: on purpose: distributed workers on a shared filesystem all funnel
+#: through one WAL lock, and a queued write is always better than a
+#: failed job.
+BUSY_TIMEOUT_S = 30.0
+
+_SCHEMA_SQL = """
+CREATE TABLE IF NOT EXISTS results (
+    key           TEXT    NOT NULL,
+    git_rev       TEXT    NOT NULL,
+    schema        INTEGER NOT NULL,
+    kind          TEXT,
+    duration      REAL,
+    scenario_json TEXT    NOT NULL,
+    scenario_hash TEXT    NOT NULL,
+    runtime_s     REAL,
+    cost_units    REAL,
+    created_at    REAL    NOT NULL,
+    entry         BLOB    NOT NULL,
+    PRIMARY KEY (key, git_rev)
+);
+CREATE INDEX IF NOT EXISTS idx_results_scenario_hash
+    ON results (scenario_hash);
+CREATE INDEX IF NOT EXISTS idx_results_git_rev ON results (git_rev);
+CREATE INDEX IF NOT EXISTS idx_results_kind ON results (kind);
+"""
+
+
+def atomic_write_bytes(directory: Path, path: Path, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` via temp file + rename, so readers
+    (and racing writers — last one wins whole) never see a partial file.
+
+    ``directory`` must be on the same filesystem as ``path`` (it is the
+    temp file's home; ``os.replace`` must not cross devices).
+    """
+    fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+@lru_cache(maxsize=1)
+def current_git_rev() -> str:
+    """The repository's HEAD revision, or "unknown" outside a checkout.
+
+    Stamped into result rows (provenance only — never part of the cache
+    key, or replays across commits would always miss).
+    """
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            cwd=Path(__file__).resolve().parent, timeout=10)
+        if proc.returncode == 0:
+            return proc.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "unknown"
+
+
+def _validate_entry(entry, location) -> Optional[dict]:
+    """The shared read-side provenance checks (see module docstring).
+
+    Returns the entry when usable, None (after the documented log line)
+    otherwise.  Both the store and the legacy pickle cache funnel every
+    read through here, so the rejection contract cannot drift between
+    them.
+    """
+    if not isinstance(entry, dict) or "schema" not in entry:
+        logger.warning(
+            "cache entry %s predates provenance stamping; recomputing",
+            location)
+        return None
+    if entry["schema"] != CACHE_SCHEMA_VERSION:
+        logger.warning(
+            "rejecting stale cache entry %s: schema version %s != current "
+            "%s (written at git rev %s); recomputing", location,
+            entry["schema"], CACHE_SCHEMA_VERSION,
+            entry.get("git_rev", "unknown"))
+        return None
+    return entry
+
+
+def _check_scenario_hash(entry, job: "ExperimentJob", location) -> bool:
+    """True when the entry's stamped scenario hash matches ``job``'s.
+
+    A mismatch means the entry was tampered with (or filed under the
+    wrong key) and is rejected with a log line, never replayed.
+    """
+    expected = job.scenario.content_hash()
+    stamped = entry.get("scenario_hash")
+    if stamped != expected:
+        logger.warning(
+            "rejecting tampered cache entry %s: stamped scenario hash "
+            "%s does not match the job's scenario %s (written at git "
+            "rev %s); recomputing", location, stamped, expected,
+            entry.get("git_rev", "unknown"))
+        return False
+    return True
+
+
+def build_entry(job: "ExperimentJob", result,
+                runtime_s: Optional[float] = None) -> dict:
+    """The provenance-stamped entry dict for a freshly executed job.
+
+    One construction site for every writer (store, pickle cache, queue
+    workers), so the entry layout — including dict key order, which the
+    cross-backend equivalence tests compare byte-for-byte after
+    pickling — cannot diverge between backends.
+    """
+    return {
+        "schema": CACHE_SCHEMA_VERSION,
+        "key": job.key(),
+        "kind": job.kind,
+        "duration": job.duration,
+        "scenario": job.scenario.to_dict(),
+        "scenario_hash": job.scenario.content_hash(),
+        "git_rev": current_git_rev(),
+        "runtime_s": runtime_s,
+        "cost_units": job.cost_units(),
+        "result": result,
+    }
+
+
+class ResultStore:
+    """The SQLite-backed result database (see the module docstring).
+
+    ``root`` may be a directory (the database lives at
+    ``<root>/results.sqlite``, and any legacy ``*.pkl`` entries found in
+    the directory are migrated on open) or a ``.sqlite`` / ``.db`` file
+    path.  Instances are cheap; each process opens its own connection
+    (re-opened transparently after a fork), and the journal mode + busy
+    timeout make concurrent writers from other processes safe.
+    ``wal=False`` selects the rollback journal instead of WAL — required
+    when several *machines* write the database over a shared filesystem
+    (see the module docstring).
+    """
+
+    def __init__(self, root: os.PathLike | str, wal: bool = True):
+        self.wal = wal
+        given = Path(root)
+        explicit_db = given.suffix in (".sqlite", ".db")
+        if explicit_db:
+            self.root = given.parent
+            self.db_path = given
+        else:
+            self.root = given
+            self.db_path = given / RESULT_DB_FILENAME
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._conn: Optional[sqlite3.Connection] = None
+        self._conn_pid: Optional[int] = None
+        # Directory-form roots promote themselves: any legacy pickle
+        # entries sitting in the directory migrate on open.  An explicit
+        # database path opens the file and nothing else (the CLI's
+        # ``results migrate`` uses this for accurate reporting).
+        if not explicit_db:
+            migrate_pickle_dir(self)
+
+    # -- connection management --------------------------------------------------------
+    def connection(self) -> sqlite3.Connection:
+        """This process's connection (fork-safe: children reconnect)."""
+        if self._conn is None or self._conn_pid != os.getpid():
+            conn = sqlite3.connect(self.db_path, timeout=BUSY_TIMEOUT_S,
+                                   isolation_level=None)
+            conn.execute(f"PRAGMA busy_timeout = {int(BUSY_TIMEOUT_S * 1000)}")
+            if self.wal:
+                try:
+                    conn.execute("PRAGMA journal_mode = WAL")
+                    conn.execute("PRAGMA synchronous = NORMAL")
+                except sqlite3.OperationalError:
+                    pass             # filesystems without WAL still work
+            else:
+                # Multi-host writers: the rollback journal's POSIX locks
+                # are the only SQLite coordination that spans machines.
+                conn.execute("PRAGMA journal_mode = DELETE")
+            conn.executescript(_SCHEMA_SQL)
+            self._conn = conn
+            self._conn_pid = os.getpid()
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None and self._conn_pid == os.getpid():
+            self._conn.close()
+        self._conn = None
+        self._conn_pid = None
+
+    def locate(self, key: str) -> str:
+        """A human-readable location for ``key``, used in log lines (the
+        store's analogue of the pickle cache's per-entry file path)."""
+        return f"{self.db_path}#{key}"
+
+    # -- the ResultCache API ----------------------------------------------------------
+    def get(self, job: "ExperimentJob"):
+        """The stored result for ``job``, or None when absent/unusable.
+
+        Beyond the schema check in :meth:`get_entry`, the entry's stamped
+        scenario hash must match the requesting job's scenario — a
+        mismatch means the row was tampered with (or filed under the
+        wrong key) and is rejected with a log line, never replayed.
+        """
+        entry = self.get_entry(job.key())
+        if entry is None:
+            return None
+        if not _check_scenario_hash(entry, job, self.locate(job.key())):
+            return None
+        return entry.get("result")
+
+    def get_entry(self, key: str) -> Optional[dict]:
+        """The full provenance-stamped entry for ``key``, or None.
+
+        With rows from several revisions on file, the newest wins —
+        execution is deterministic, so any current-schema row is equally
+        valid; the provenance stamps say which commit wrote it.
+        """
+        row = self.connection().execute(
+            "SELECT entry FROM results WHERE key = ? "
+            "ORDER BY created_at DESC, rowid DESC LIMIT 1", (key,)).fetchone()
+        if row is None:
+            return None
+        try:
+            entry = pickle.loads(row[0])
+        except Exception:
+            logger.warning("cache entry %s is unreadable; recomputing",
+                           self.locate(key))
+            return None
+        return _validate_entry(entry, self.locate(key))
+
+    def entries(self) -> Iterator[dict]:
+        """Iterate every readable current-schema entry, newest row per key."""
+        keys = [row[0] for row in self.connection().execute(
+            "SELECT DISTINCT key FROM results ORDER BY key")]
+        for key in keys:
+            entry = self.get_entry(key)
+            if entry is not None:
+                yield entry
+
+    def put(self, job: "ExperimentJob", result,
+            runtime_s: Optional[float] = None) -> None:
+        """Store ``result`` with provenance; one WAL transaction, so
+        readers and concurrent writers never see a partial row."""
+        self.put_entry(build_entry(job, result, runtime_s=runtime_s))
+
+    def put_entry(self, entry: dict, replace: bool = True) -> bool:
+        """Insert a pre-built entry dict (the writer behind :meth:`put`,
+        also the migration path).  With ``replace=False`` an existing
+        ``(key, git_rev)`` row is left untouched (idempotent re-import);
+        returns whether a row was written."""
+        conflict = "REPLACE" if replace else "IGNORE"
+        cursor = self.connection().execute(
+            f"INSERT OR {conflict} INTO results (key, git_rev, schema, kind, "
+            "duration, scenario_json, scenario_hash, runtime_s, cost_units, "
+            "created_at, entry) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (entry.get("key"), entry.get("git_rev", "unknown"),
+             entry.get("schema"), entry.get("kind"), entry.get("duration"),
+             json.dumps(entry.get("scenario", {}), sort_keys=True,
+                        default=list),
+             entry.get("scenario_hash", ""), entry.get("runtime_s"),
+             entry.get("cost_units"), time.time(),
+             pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)))
+        return cursor.rowcount > 0
+
+    def invalidate(self, key: str) -> None:
+        """Drop every revision's row for ``key`` (e.g. one that failed
+        validation)."""
+        self.connection().execute("DELETE FROM results WHERE key = ?", (key,))
+
+    def __len__(self) -> int:
+        """Distinct result keys on file (the pickle cache counted files)."""
+        return self.connection().execute(
+            "SELECT COUNT(DISTINCT key) FROM results").fetchone()[0]
+
+    # -- SQL-side queries (no result unpickling) --------------------------------------
+    def calibration_rows(self) -> Iterator[tuple]:
+        """``(kind, cost_units, runtime_s)`` per row — the cost model's
+        calibration data, straight from SQL (the pickle cache had to
+        unpickle every full result payload for this)."""
+        yield from self.connection().execute(
+            "SELECT kind, cost_units, runtime_s FROM results "
+            "WHERE schema = ?", (CACHE_SCHEMA_VERSION,))
+
+    def rows(self, kind: Optional[str] = None,
+             scenario_hash: Optional[str] = None,
+             git_rev: Optional[str] = None,
+             keys: Optional[set] = None) -> list[dict]:
+        """Provenance-only row dicts, filtered; newest first.
+
+        ``scenario_hash`` and ``git_rev`` match by prefix, so the short
+        hashes humans copy around work.  Result payloads stay pickled.
+        """
+        query = ("SELECT key, git_rev, schema, kind, duration, "
+                 "scenario_json, scenario_hash, runtime_s, cost_units, "
+                 "created_at FROM results")
+        clauses, params = [], []
+        if kind is not None:
+            clauses.append("kind = ?")
+            params.append(kind)
+        if scenario_hash is not None:
+            clauses.append("scenario_hash LIKE ?")
+            params.append(scenario_hash + "%")
+        if git_rev is not None:
+            clauses.append("git_rev LIKE ?")
+            params.append(git_rev + "%")
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        query += " ORDER BY created_at DESC, rowid DESC"
+        rows = []
+        for record in self.connection().execute(query, params):
+            row = {
+                "key": record[0], "git_rev": record[1], "schema": record[2],
+                "kind": record[3], "duration": record[4],
+                "scenario": json.loads(record[5]), "scenario_hash": record[6],
+                "runtime_s": record[7], "cost_units": record[8],
+                "created_at": record[9],
+            }
+            if keys is None or row["key"] in keys:
+                rows.append(row)
+        return rows
+
+    def git_revs(self) -> list[str]:
+        """Every revision with rows on file, most recently written first."""
+        return [row[0] for row in self.connection().execute(
+            "SELECT git_rev, MAX(created_at) AS newest FROM results "
+            "GROUP BY git_rev ORDER BY newest DESC")]
+
+    def result_set(self, git_rev: Optional[str] = None) -> dict[str, dict]:
+        """key → validated entry, optionally restricted to one revision
+        (prefix match) — the operand of :func:`diff_result_sets`."""
+        if git_rev is None:
+            return {entry["key"]: entry for entry in self.entries()}
+        entries = {}
+        for record in self.connection().execute(
+                "SELECT key, entry FROM results WHERE git_rev LIKE ? "
+                "ORDER BY created_at, rowid", (git_rev + "%",)):
+            try:
+                entry = pickle.loads(record[1])
+            except Exception:
+                logger.warning("cache entry %s is unreadable; skipping",
+                               self.locate(record[0]))
+                continue
+            entry = _validate_entry(entry, self.locate(record[0]))
+            if entry is not None:
+                entries[record[0]] = entry
+        return entries
+
+
+class ResultCache(ResultStore):
+    """Compatibility shim: the pickle-directory cache's name and API,
+    now backed by the SQLite :class:`ResultStore`.
+
+    Constructing one over an old pickle-cache directory migrates the
+    ``*.pkl`` entries into ``<root>/results.sqlite`` in one shot (see
+    :func:`migrate_pickle_dir`); ``get`` / ``get_entry`` / ``entries`` /
+    ``put`` / ``invalidate`` / ``len()`` behave exactly as before.  New
+    code should say :class:`ResultStore`.
+    """
+
+
+class PickleResultCache:
+    """The legacy one-pickle-file-per-entry cache format.
+
+    Kept for two jobs: reading old cache directories during migration,
+    and the equivalence tests that prove a pickle replay and a store
+    replay return bit-identical results.  Not written by any backend
+    anymore.
+    """
+
+    def __init__(self, root: os.PathLike | str):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    def get(self, job: "ExperimentJob"):
+        entry = self.get_entry(job.key())
+        if entry is None:
+            return None
+        if not _check_scenario_hash(entry, job, self._path(job.key())):
+            return None
+        return entry.get("result")
+
+    def get_entry(self, key: str) -> Optional[dict]:
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            with path.open("rb") as handle:
+                entry = pickle.load(handle)
+        except Exception:
+            logger.warning("cache entry %s is unreadable; recomputing", path)
+            return None
+        return _validate_entry(entry, path)
+
+    def entries(self) -> Iterator[dict]:
+        for path in sorted(self.root.glob("*.pkl")):
+            entry = self.get_entry(path.stem)
+            if entry is not None:
+                yield entry
+
+    def put(self, job: "ExperimentJob", result,
+            runtime_s: Optional[float] = None) -> None:
+        entry = build_entry(job, result, runtime_s=runtime_s)
+        atomic_write_bytes(self.root, self._path(job.key()),
+                           pickle.dumps(entry,
+                                        protocol=pickle.HIGHEST_PROTOCOL))
+
+    def invalidate(self, key: str) -> None:
+        self._path(key).unlink(missing_ok=True)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.pkl"))
+
+
+# -- migration ------------------------------------------------------------------------
+@dataclass
+class MigrationReport:
+    """What one pickle-directory migration pass did."""
+
+    migrated: int = 0
+    skipped: int = 0      # rows that already existed (idempotent re-run)
+    rejected: int = 0     # stale-schema / unreadable / unstamped pickles
+
+
+def migrate_pickle_dir(store: ResultStore,
+                       directory: Optional[os.PathLike | str] = None
+                       ) -> MigrationReport:
+    """Import a legacy pickle-cache directory's entries into ``store``.
+
+    Reads every ``*.pkl`` in ``directory`` (default: the store's own
+    root — the promotion path for existing cache dirs) through the same
+    validation the pickle cache applied on read, so stale-schema and
+    unstamped entries are logged and skipped, never laundered into the
+    database.  Idempotent: entries whose ``(key, git_rev)`` row already
+    exists are skipped, and the pickle files are left untouched.
+    """
+    legacy = PickleResultCache(directory if directory is not None
+                               else store.root)
+    report = MigrationReport()
+    paths = sorted(legacy.root.glob("*.pkl"))
+    if not paths:
+        return report
+    # The legacy format keeps one file per key (the filename stem), so a
+    # key already in the database needs no unpickling at all — re-runs
+    # over an already-migrated directory cost one SQL query plus a glob.
+    migrated_keys = {row[0] for row in store.connection().execute(
+        "SELECT DISTINCT key FROM results")}
+    for path in paths:
+        if path.stem in migrated_keys:
+            report.skipped += 1
+            continue
+        entry = legacy.get_entry(path.stem)
+        if entry is None:
+            report.rejected += 1
+            continue
+        if store.put_entry(entry, replace=False):
+            report.migrated += 1
+        else:
+            report.skipped += 1
+    if report.migrated:
+        logger.info(
+            "migrated %d legacy pickle cache entr%s from %s into %s "
+            "(%d already present, %d rejected)", report.migrated,
+            "y" if report.migrated == 1 else "ies", legacy.root,
+            store.db_path, report.skipped, report.rejected)
+    return report
+
+
+# -- query / diff tooling -------------------------------------------------------------
+def flatten_metrics(value, prefix: str = "") -> dict:
+    """Every leaf of a nested dict/list/dataclass structure, keyed by
+    dotted path — the comparable surface of a result.  Numeric leaves
+    stay floats (the diff applies its tolerance to them); any other
+    leaf is kept as a string and compared for exact equality, so a
+    changed label or status can never hide behind a tolerance."""
+    metrics: dict = {}
+    if is_dataclass(value) and not isinstance(value, type):
+        value = {name: getattr(value, name)
+                 for name in value.__dataclass_fields__}
+    if isinstance(value, dict):
+        for key in sorted(value, key=str):
+            child = f"{prefix}.{key}" if prefix else str(key)
+            metrics.update(flatten_metrics(value[key], child))
+    elif isinstance(value, (list, tuple)):
+        for index, item in enumerate(value):
+            metrics.update(flatten_metrics(item, f"{prefix}[{index}]"))
+    elif isinstance(value, bool):
+        metrics[prefix] = float(value)
+    elif isinstance(value, (int, float)):
+        metrics[prefix] = float(value)
+    else:
+        metrics[prefix] = str(value)
+    return metrics
+
+
+def entry_metrics(entry: dict) -> dict:
+    """The flattened leaves of one entry's result payload."""
+    result = entry.get("result")
+    if hasattr(result, "as_dict"):
+        result = result.as_dict()
+    return flatten_metrics(result)
+
+
+@dataclass(frozen=True)
+class DiffDelta:
+    """One metric that moved (or vanished) between two result sets.
+
+    ``a`` / ``b`` are floats for numeric leaves, strings for any other
+    leaf, and None on the side where the metric is missing entirely.
+    """
+
+    key: str
+    metric: str
+    a: object
+    b: object
+
+    @property
+    def delta(self) -> Optional[float]:
+        if isinstance(self.a, float) and isinstance(self.b, float):
+            return self.b - self.a
+        return None
+
+
+@dataclass
+class DiffReport:
+    """Per-metric comparison of two result sets (see ``results diff``)."""
+
+    matched: int = 0                 # keys present on both sides
+    identical: int = 0               # matched keys with no delta
+    deltas: list = field(default_factory=list)
+    only_in_a: list = field(default_factory=list)
+    only_in_b: list = field(default_factory=list)
+
+    def empty(self) -> bool:
+        """True when the sets agree: same keys, every metric in tolerance."""
+        return not self.deltas and not self.only_in_a and not self.only_in_b
+
+    def to_dict(self) -> dict:
+        return {
+            "matched": self.matched,
+            "identical": self.identical,
+            "empty": self.empty(),
+            "deltas": [{"key": d.key, "metric": d.metric, "a": d.a,
+                        "b": d.b, "delta": d.delta} for d in self.deltas],
+            "only_in_a": list(self.only_in_a),
+            "only_in_b": list(self.only_in_b),
+        }
+
+
+def _within_tolerance(a, b, tolerance: float) -> bool:
+    if a == b:
+        return True
+    if not (isinstance(a, float) and isinstance(b, float)):
+        return False        # non-numeric leaves: exact equality only
+    return abs(a - b) <= tolerance * max(abs(a), abs(b), 1.0)
+
+
+def diff_result_sets(a: dict[str, dict], b: dict[str, dict],
+                     tolerance: float = 0.0) -> DiffReport:
+    """Compare two ``key → entry`` sets metric by metric.
+
+    ``tolerance`` is relative (with an absolute floor of 1.0 in the
+    denominator, so near-zero metrics compare sanely); the default 0.0
+    demands bit-identical numbers — the right bar for two runs of a
+    deterministic executor, and what CI asserts across revisions.
+    """
+    report = DiffReport()
+    report.only_in_a = sorted(set(a) - set(b))
+    report.only_in_b = sorted(set(b) - set(a))
+    for key in sorted(set(a) & set(b)):
+        report.matched += 1
+        metrics_a = entry_metrics(a[key])
+        metrics_b = entry_metrics(b[key])
+        clean = True
+        for metric in sorted(set(metrics_a) | set(metrics_b)):
+            value_a = metrics_a.get(metric)
+            value_b = metrics_b.get(metric)
+            if value_a is None or value_b is None:
+                report.deltas.append(DiffDelta(key, metric, value_a, value_b))
+                clean = False
+            elif not _within_tolerance(value_a, value_b, tolerance):
+                report.deltas.append(DiffDelta(key, metric, value_a, value_b))
+                clean = False
+        if clean:
+            report.identical += 1
+    return report

@@ -4,9 +4,12 @@ A worker is deliberately dumb: it polls a :class:`~repro.experiments.
 queue.WorkQueue` for the highest-priority pending job, executes it with
 the same :func:`~repro.experiments.jobs.execute_job` the in-process
 backends use, writes the provenance-stamped result back through the
-queue's :class:`~repro.experiments.executor.ResultCache`, and repeats.
-All scheduling intelligence (cost-based packing, crash recovery,
-lease management) lives with the submitter.
+queue's SQLite :class:`~repro.experiments.store.ResultStore`
+(rollback-journal mode plus a busy timeout coordinate any number of
+workers writing the shared database, machines included — provided the
+filesystem's advisory locks work), and repeats.  All scheduling
+intelligence (cost-based
+packing, crash recovery, lease management) lives with the submitter.
 
 Run one per core, on any machine that can see the queue directory::
 

@@ -173,9 +173,8 @@ def test_claiming_an_aged_pending_job_starts_a_fresh_lease(tmp_path, config):
 def test_distributed_suite_rejects_tampered_queue_results(tmp_path, config,
                                                           caplog):
     """A pre-existing tampered result in a shared queue is logged,
-    invalidated and re-executed — same contract as ResultCache.get."""
+    invalidated and re-executed — same contract as ResultStore.get."""
     import logging
-    import pickle
 
     queue = DirectoryQueue(tmp_path / "q")
     job = ExperimentJob(Scenario.single("RE", config, seed_offset=1))
@@ -185,8 +184,7 @@ def test_distributed_suite_rejects_tampered_queue_results(tmp_path, config,
 
     entry = dict(queue.result_entry(key))
     entry["scenario_hash"] = "0" * 64
-    with (queue.results.root / f"{key}.pkl").open("wb") as handle:
-        pickle.dump(entry, handle)
+    queue.results.put_entry(entry)
 
     reference = execute_job(job)
     with caplog.at_level(logging.WARNING, logger="repro.experiments.executor"):

@@ -189,20 +189,18 @@ def test_cache_entries_are_provenance_stamped(tmp_path, config):
 def test_stale_schema_cache_entry_is_rejected_with_a_log(tmp_path, config,
                                                          caplog):
     import logging
-    import pickle
 
     job = ExperimentJob(Scenario.single("RE", config, seed_offset=1))
     suite = ExperimentSuite(workers=1, cache_dir=tmp_path)
     [fresh] = suite.run([job])
 
-    # Rewrite the entry as if an older schema produced it.
+    # Rewrite the store row as if an older schema produced it.
     cache = ResultCache(tmp_path)
     entry = cache.get_entry(job.key())
     entry["schema"] -= 1
-    with (tmp_path / f"{job.key()}.pkl").open("wb") as handle:
-        pickle.dump(entry, handle)
+    cache.put_entry(entry)
 
-    with caplog.at_level(logging.WARNING, logger="repro.experiments.executor"):
+    with caplog.at_level(logging.WARNING, logger="repro.experiments.store"):
         again = ExperimentSuite(workers=1, cache_dir=tmp_path)
         [recomputed] = again.run([job])
     assert again.stats.cache_hits == 0
@@ -214,11 +212,10 @@ def test_stale_schema_cache_entry_is_rejected_with_a_log(tmp_path, config,
 
 def test_tampered_scenario_hash_cache_entry_is_rejected_with_a_log(
         tmp_path, config, caplog):
-    """An entry whose stamped scenario hash disagrees with the requesting
+    """A row whose stamped scenario hash disagrees with the requesting
     job's scenario is never replayed — the schema check alone would pass
     it, so this is the second documented rejection path."""
     import logging
-    import pickle
 
     job = ExperimentJob(Scenario.single("RE", config, seed_offset=1))
     suite = ExperimentSuite(workers=1, cache_dir=tmp_path)
@@ -227,10 +224,9 @@ def test_tampered_scenario_hash_cache_entry_is_rejected_with_a_log(
     cache = ResultCache(tmp_path)
     entry = cache.get_entry(job.key())
     entry["scenario_hash"] = "0" * 64
-    with (tmp_path / f"{job.key()}.pkl").open("wb") as handle:
-        pickle.dump(entry, handle)
+    cache.put_entry(entry)
 
-    with caplog.at_level(logging.WARNING, logger="repro.experiments.executor"):
+    with caplog.at_level(logging.WARNING, logger="repro.experiments.store"):
         again = ExperimentSuite(workers=1, cache_dir=tmp_path)
         [recomputed] = again.run([job])
     assert again.stats.cache_hits == 0
@@ -242,6 +238,8 @@ def test_tampered_scenario_hash_cache_entry_is_rejected_with_a_log(
 
 def test_pre_provenance_cache_entry_is_rejected_with_a_log(tmp_path, config,
                                                            caplog):
+    """An unstamped legacy pickle is rejected (with the documented log
+    line) by the store's pickle-directory migration, never replayed."""
     import logging
     import pickle
 
