@@ -25,10 +25,13 @@ the environment:
     pickle entries in the directory migrate on first open), queryable
     afterwards with ``python -m repro.experiments results list/diff
     --store $PICTOR_CACHE_DIR``.
-``PICTOR_BACKEND`` / ``PICTOR_QUEUE_DIR``
-    pin an execution backend (``serial``/``parallel``/``distributed``)
-    and, for the distributed one, the work-queue directory shared with
-    externally started ``python -m repro.experiments worker`` processes.
+``PICTOR_BACKEND`` / ``PICTOR_QUEUE_DIR`` / ``PICTOR_QUEUE_ADDR``
+    pin an execution backend (``serial``/``parallel``/``distributed``/
+    ``socket``) and, for the distributed one, the work-queue directory
+    shared with externally started ``python -m repro.experiments
+    worker`` processes — or, for the socket one, the ``host:port`` of a
+    ``python -m repro.experiments serve`` queue server whose workers
+    connect with ``worker --addr``.
 """
 
 from __future__ import annotations
@@ -88,8 +91,10 @@ def suite():
     cache_dir = os.environ.get("PICTOR_CACHE_DIR") or None
     backend = os.environ.get("PICTOR_BACKEND") or None
     queue_dir = os.environ.get("PICTOR_QUEUE_DIR") or None
+    queue_addr = os.environ.get("PICTOR_QUEUE_ADDR") or None
     with ExperimentSuite(workers=workers, cache_dir=cache_dir,
-                         backend=backend, queue_dir=queue_dir) as shared:
+                         backend=backend, queue_dir=queue_dir,
+                         queue_addr=queue_addr) as shared:
         yield shared
 
 

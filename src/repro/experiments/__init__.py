@@ -28,7 +28,12 @@ wrapped in :class:`~repro.experiments.jobs.ExperimentJob` lists that an
 across local worker processes, over a distributed work queue
 (:mod:`repro.experiments.queue` — drained by ``python -m
 repro.experiments worker`` processes on any machine sharing the queue
-directory), or out of the content-addressed SQLite result database
+directory), over TCP to a queue server (:mod:`repro.experiments.server`
+behind ``python -m repro.experiments serve``, reached by
+:class:`~repro.experiments.socket_queue.SocketQueue` clients and
+heartbeating ``worker --addr`` processes, optionally autoscaled by a
+:class:`~repro.experiments.coordinator.Coordinator`), or out of the
+content-addressed SQLite result database
 (:mod:`repro.experiments.store`) — always with bit-identical results,
 submitted largest-estimated-cost first
 (:mod:`repro.experiments.cost`).  ``python -m repro.experiments``
@@ -55,6 +60,9 @@ from repro.experiments.store import (
 )
 from repro.experiments.jobs import ExperimentJob, JobVariant, execute_job
 from repro.experiments.queue import DirectoryQueue, WorkQueue
+from repro.experiments.coordinator import Coordinator
+from repro.experiments.server import QueueServer
+from repro.experiments.socket_queue import SocketQueue
 from repro.experiments.worker import run_worker, spawn_worker
 from repro.experiments.runner import (
     run_colocated,
@@ -68,6 +76,7 @@ from repro.scenarios.variants import SessionVariant, session_variant
 
 __all__ = [
     "BACKENDS",
+    "Coordinator",
     "CostModel",
     "DirectoryQueue",
     "ExperimentConfig",
@@ -76,11 +85,13 @@ __all__ = [
     "JobVariant",
     "PickleResultCache",
     "Placement",
+    "QueueServer",
     "ResultCache",
     "ResultStore",
     "Scenario",
     "SeedPolicy",
     "SessionVariant",
+    "SocketQueue",
     "WorkQueue",
     "default_suite",
     "diff_result_sets",

@@ -18,17 +18,25 @@ network — straight from a JSON spec file, an inline JSON string, or an
         '{"placements": ["RE", "ITP", "D2"], "variant": "optimized"}'
 
 Execution backends are selectable (``--backend serial|parallel|
-distributed``); the distributed backend submits jobs to a
+distributed|socket``); the distributed backend submits jobs to a
 shared-filesystem work queue (``--queue DIR``) drained by standalone
-workers::
+workers, and the socket backend talks to a TCP queue server instead, so
+workers need only network reach::
 
     PYTHONPATH=src python -m repro.experiments worker --queue /shared/q &
     PYTHONPATH=src python -m repro.experiments scenario RE+ITP+D2 \
         --backend distributed --queue /shared/q --workers 2
 
-Results are deterministic: serial, parallel, and distributed runs print
-bit-identical tables, and a second run against the same ``--cache-dir``
-replays without executing anything.
+    PYTHONPATH=src python -m repro.experiments serve --queue /srv/q \
+        --port 7781 &
+    PYTHONPATH=src python -m repro.experiments worker \
+        --addr host:7781 &
+    PYTHONPATH=src python -m repro.experiments scenario RE+ITP+D2 \
+        --backend socket --addr host:7781
+
+Results are deterministic: serial, parallel, distributed, and socket
+runs print bit-identical tables, and a second run against the same
+``--cache-dir`` replays without executing anything.
 
 Everything a run stores lands in the SQLite result database
 (``<cache-dir>/results.sqlite``); the ``results`` subcommand queries,
@@ -99,15 +107,21 @@ def _add_execution_options(parser: argparse.ArgumentParser,
     parser.add_argument("--cache-dir", default=default(None), metavar="DIR",
                         help="content-addressed result cache directory")
     parser.add_argument("--backend", choices=("serial", "parallel",
-                                              "distributed"),
+                                              "distributed", "socket"),
                         default=default(None),
                         help="execution backend (default: inferred — "
-                             "distributed with --queue, parallel with "
-                             "--workers > 1, else serial)")
+                             "socket with --addr, distributed with "
+                             "--queue, parallel with --workers > 1, "
+                             "else serial)")
     parser.add_argument("--queue", default=default(None), metavar="DIR",
                         help="work-queue directory for the distributed "
                              "backend (created on demand; default: a "
                              "private temporary queue)")
+    parser.add_argument("--addr", default=default(None), metavar="HOST:PORT",
+                        help="queue server address for the socket backend "
+                             "(see the serve subcommand; default: the "
+                             "socket backend starts its own in-process "
+                             "server)")
 
 
 def _add_config_options(parser: argparse.ArgumentParser,
@@ -269,14 +283,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     worker = subcommands.add_parser(
         "worker",
-        help="run a distributed-backend worker against a work queue",
-        description="Poll the given work-queue directory for pending "
-                    "experiment jobs, execute them, and write "
-                    "provenance-stamped results back into the queue's "
-                    "result cache.  Start one per core on any machine "
-                    "that can see the queue directory.")
-    worker.add_argument("--queue", required=True, metavar="DIR",
-                        help="work-queue directory (created on demand)")
+        help="run a standalone worker against a work queue or queue server",
+        description="Poll a work queue for pending experiment jobs, "
+                    "execute them, and write provenance-stamped results "
+                    "back through the queue.  Give the worker either a "
+                    "--queue directory (shared-filesystem transport; one "
+                    "per core on any machine that can see it) or the "
+                    "--addr of a queue server (TCP transport; one per "
+                    "core on any machine that can reach it).")
+    transport = worker.add_mutually_exclusive_group(required=True)
+    transport.add_argument("--queue", metavar="DIR",
+                           help="work-queue directory (created on demand)")
+    transport.add_argument("--addr", metavar="HOST:PORT",
+                           help="queue server address (see the serve "
+                                "subcommand)")
     worker.add_argument("--worker-id", default=None, metavar="ID",
                         help="worker identity used in claims "
                              "(default: <hostname>-<pid>)")
@@ -288,6 +308,48 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="S",
                         help="exit after the queue stays empty this long "
                              "(default: poll forever)")
+    worker.add_argument("--heartbeat", type=float, default=None, metavar="S",
+                        help="heartbeat interval in seconds (default: 2 "
+                             "with --addr, off with --queue)")
+
+    serve = subcommands.add_parser(
+        "serve",
+        help="serve a work-queue directory over TCP to socket workers",
+        description="Run the queue server: a TCP front-end over a "
+                    "work-queue directory, speaking the framed protocol "
+                    "socket workers and the socket backend use.  Tracks "
+                    "worker heartbeats (a silent worker's claims requeue "
+                    "within --heartbeat-timeout) and sweeps stale leases; "
+                    "with --max > 0 it also autoscales local worker "
+                    "processes against queue depth.")
+    serve.add_argument("--queue", required=True, metavar="DIR",
+                       help="work-queue directory to serve (created on "
+                            "demand)")
+    serve.add_argument("--host", default="0.0.0.0", metavar="HOST",
+                       help="interface to bind (default: all interfaces)")
+    serve.add_argument("--port", type=int, default=7781, metavar="N",
+                       help="TCP port to bind (default 7781; 0 = any free "
+                            "port)")
+    serve.add_argument("--lease", type=float, default=300.0, metavar="S",
+                       help="claim lease in seconds for workers that do "
+                            "not heartbeat (default 300)")
+    serve.add_argument("--heartbeat-timeout", type=float, default=15.0,
+                       metavar="S",
+                       help="requeue a worker's claims after this much "
+                            "heartbeat silence (default 15)")
+    serve.add_argument("--sweep-interval", type=float, default=1.0,
+                       metavar="S",
+                       help="liveness/lease sweep interval (default 1)")
+    serve.add_argument("--min", type=int, default=0, dest="min_workers",
+                       metavar="N",
+                       help="minimum local workers to keep (default 0)")
+    serve.add_argument("--max", type=int, default=0, dest="max_workers",
+                       metavar="N",
+                       help="autoscale up to N local workers against "
+                            "queue depth (default 0: serve only)")
+    serve.add_argument("--scale-interval", type=float, default=1.0,
+                       metavar="S",
+                       help="autoscaler decision interval (default 1)")
     return parser
 
 
@@ -320,7 +382,8 @@ def _run_scenarios(args) -> int:
         for spec in args.spec:
             scenarios.extend(load_scenarios(spec, config))
         suite = ExperimentSuite(workers=args.workers, cache_dir=args.cache_dir,
-                                backend=args.backend, queue_dir=args.queue)
+                                backend=args.backend, queue_dir=args.queue,
+                                queue_addr=args.addr)
     except (ValueError, KeyError, TypeError, json.JSONDecodeError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -633,16 +696,70 @@ def _run_results(args) -> int:
 
 
 def _run_worker(args) -> int:
-    from repro.experiments.queue import DirectoryQueue, default_worker_id
+    from repro.experiments.queue import default_worker_id
     from repro.experiments.worker import run_worker
 
-    queue = DirectoryQueue(args.queue)
+    if args.addr is not None:
+        from repro.experiments.socket_queue import SocketQueue
+        queue = SocketQueue(args.addr)
+        source = args.addr
+        heartbeat_s = args.heartbeat if args.heartbeat is not None else 2.0
+    else:
+        from repro.experiments.queue import DirectoryQueue
+        queue = DirectoryQueue(args.queue)
+        source = queue.root
+        heartbeat_s = args.heartbeat
     worker_id = args.worker_id or default_worker_id()
     executed = run_worker(queue, worker_id=worker_id, poll_s=args.poll,
                           max_jobs=args.max_jobs,
-                          idle_timeout_s=args.idle_timeout)
-    print(f"worker {worker_id}: executed {executed} job(s) from {queue.root}",
+                          idle_timeout_s=args.idle_timeout,
+                          heartbeat_s=heartbeat_s)
+    print(f"worker {worker_id}: executed {executed} job(s) from {source}",
           file=sys.stderr)
+    return 0
+
+
+def _run_serve(args) -> int:
+    import threading
+
+    from repro.experiments.coordinator import Coordinator
+    from repro.experiments.server import QueueServer
+
+    server = QueueServer(Path(args.queue), host=args.host, port=args.port,
+                         lease_s=args.lease,
+                         heartbeat_timeout_s=args.heartbeat_timeout,
+                         sweep_interval_s=args.sweep_interval)
+    server.start()
+    print(f"queue server listening on {server.address} "
+          f"(queue: {args.queue})", file=sys.stderr, flush=True)
+
+    coordinator = None
+    coordinator_thread = None
+    if args.max_workers > 0:
+        # The coordinator connects over loopback even when serving on
+        # 0.0.0.0 — its workers are local by definition.
+        host = args.host if args.host not in ("0.0.0.0", "::") \
+            else "127.0.0.1"
+        coordinator = Coordinator(f"{host}:{server.port}",
+                                  min_workers=args.min_workers,
+                                  max_workers=args.max_workers,
+                                  scale_interval_s=args.scale_interval)
+        coordinator_thread = threading.Thread(target=coordinator.run,
+                                              daemon=True,
+                                              name="queue-coordinator")
+        coordinator_thread.start()
+        print(f"autoscaling {args.min_workers}..{args.max_workers} local "
+              f"worker(s) every {args.scale_interval:g}s", file=sys.stderr,
+              flush=True)
+
+    try:
+        server._stop.wait()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        if coordinator is not None:
+            coordinator.stop(kill=True)
+        server.stop()
     return 0
 
 
@@ -657,6 +774,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         return _run_results(args)
     if getattr(args, "command", None) == "worker":
         return _run_worker(args)
+    if getattr(args, "command", None) == "serve":
+        return _run_serve(args)
 
     if args.list_figures:
         rows = [{"figure": name, "title": spec.title}
@@ -680,7 +799,8 @@ def main(argv: Optional[list[str]] = None) -> int:
     try:
         config = make_config(args)
         suite = ExperimentSuite(workers=args.workers, cache_dir=args.cache_dir,
-                                backend=args.backend, queue_dir=args.queue)
+                                backend=args.backend, queue_dir=args.queue,
+                                queue_addr=args.addr)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

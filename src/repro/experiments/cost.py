@@ -41,7 +41,17 @@ class CostModel:
 
     def estimate(self, job: "ExperimentJob") -> float:
         """Estimated wall seconds (or raw units, uncalibrated) for ``job``."""
-        return job.cost_units() * self.rates.get(job.kind, 1.0)
+        return self.estimate_units(job.kind, job.cost_units())
+
+    def estimate_units(self, kind: str, units: float) -> float:
+        """:meth:`estimate` from a job's provenance pair alone.
+
+        The queue server orders claims largest-estimated-cost first
+        across *all* submitters, and it knows each pending job only as
+        ``(kind, cost_units)`` stamps — the pickled job itself never
+        needs to be loaded to place it in the packing order.
+        """
+        return units * self.rates.get(kind, 1.0)
 
     @classmethod
     def calibrated(cls, cache: "ResultStore") -> "CostModel":

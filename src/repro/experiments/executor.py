@@ -17,7 +17,12 @@ and returns their results in the same order.  Three layers cooperate:
   (:class:`~repro.experiments.queue.DirectoryQueue`) drained by
   standalone worker processes — spawned locally by the suite, or
   started by hand on any machine that can see the queue directory with
-  ``python -m repro.experiments worker --queue DIR``.
+  ``python -m repro.experiments worker --queue DIR``; ``socket``
+  submits to a :class:`~repro.experiments.server.QueueServer` over TCP
+  (:class:`~repro.experiments.socket_queue.SocketQueue`) — an external
+  server named by ``queue_addr``, or one the suite starts in-process —
+  drained by heartbeating workers anywhere the server is reachable
+  (``python -m repro.experiments worker --addr HOST:PORT``).
 
 Whatever the backend, jobs are submitted **largest-estimated-cost
 first** (:func:`~repro.experiments.cost.order_by_cost`, calibrated from
@@ -61,7 +66,7 @@ __all__ = ["BACKENDS", "ExperimentSuite", "ResultCache", "ResultStore",
 logger = logging.getLogger(__name__)
 
 #: The execution backends a suite can run jobs on.
-BACKENDS = ("serial", "parallel", "distributed")
+BACKENDS = ("serial", "parallel", "distributed", "socket")
 
 
 @dataclass
@@ -102,12 +107,22 @@ class ExperimentSuite:
     execution to externally started workers (``python -m
     repro.experiments worker --queue DIR``, on this or any other machine
     sharing the queue directory).
+
+    The socket backend works the same way over TCP: with ``queue_addr``
+    the suite is a client of an external ``python -m repro.experiments
+    serve`` process; without one it starts its own
+    :class:`~repro.experiments.server.QueueServer` in-process (over
+    ``queue_dir``, or a suite-owned temp directory) — handy for tests
+    and for accepting extra external ``--addr`` workers into an
+    otherwise local run.
     """
 
     workers: int = 1
     cache_dir: Optional[os.PathLike | str] = None
     backend: Optional[str] = None
     queue_dir: Optional[os.PathLike | str] = None
+    #: ``host:port`` of an external queue server (implies ``socket``).
+    queue_addr: Optional[str] = None
     spawn_workers: bool = True
     #: Claims older than this are requeued (crashed-worker recovery).
     #: Must exceed the longest single job runtime, or a slow job will be
@@ -121,20 +136,30 @@ class ExperimentSuite:
         if self.workers < 1:
             raise ValueError("workers must be at least 1")
         if self.backend is None:
-            self.backend = ("distributed" if self.queue_dir is not None
+            self.backend = ("socket" if self.queue_addr is not None
+                            else "distributed" if self.queue_dir is not None
                             else "parallel" if self.workers > 1 else "serial")
         if self.backend not in BACKENDS:
             raise ValueError(f"unknown backend {self.backend!r}; "
                              f"known: {BACKENDS}")
-        if self.queue_dir is not None and self.backend != "distributed":
-            raise ValueError("queue_dir only applies to the distributed "
+        if self.queue_addr is not None and self.backend != "socket":
+            raise ValueError("queue_addr only applies to the socket "
                              f"backend, not {self.backend!r}")
+        if self.queue_dir is not None \
+                and self.backend not in ("distributed", "socket"):
+            raise ValueError("queue_dir only applies to the distributed "
+                             f"and socket backends, not {self.backend!r}")
+        if self.queue_dir is not None and self.queue_addr is not None:
+            raise ValueError("queue_dir and queue_addr are exclusive: an "
+                             "external server owns its own queue directory")
         # The canonical result path of every backend: the SQLite result
         # store (a legacy pickle directory migrates itself on open).
         self._cache = ResultStore(self.cache_dir) if self.cache_dir else None
         self._pool: Optional[ProcessPoolExecutor] = None
         self._queue = None
+        self._server = None                      # suite-owned QueueServer
         self._owned_queue_dir: Optional[Path] = None
+        self._worker_log_dir: Optional[Path] = None
         self._worker_procs: list[tuple[subprocess.Popen, str]] = []
         self._worker_seq = 0
         self._calibration: Optional[CostCalibration] = None
@@ -158,10 +183,18 @@ class ExperimentSuite:
                 proc.kill()
                 proc.wait()
         self._worker_procs.clear()
+        if self._queue is not None and hasattr(self._queue, "close"):
+            self._queue.close()
         self._queue = None
+        if self._server is not None:
+            self._server.stop()
+            self._server = None
         if self._owned_queue_dir is not None:
             shutil.rmtree(self._owned_queue_dir, ignore_errors=True)
             self._owned_queue_dir = None
+        if self._worker_log_dir is not None:
+            shutil.rmtree(self._worker_log_dir, ignore_errors=True)
+            self._worker_log_dir = None
 
     def __enter__(self) -> "ExperimentSuite":
         return self
@@ -233,7 +266,7 @@ class ExperimentSuite:
     def _map(self, jobs: list[ExperimentJob]) -> list[tuple]:
         """(result, runtime_s) per job, aligned with ``jobs``."""
         ordered = order_by_cost(jobs, self._cost_model())
-        if self.backend == "distributed":
+        if self.backend in ("distributed", "socket"):
             by_job = self._run_distributed(ordered)
         elif self.backend == "parallel" and self.workers > 1 and len(jobs) > 1:
             if self._pool is None:
@@ -245,16 +278,41 @@ class ExperimentSuite:
             by_job = {job: _timed_execute(job) for job in ordered}
         return [by_job[job] for job in jobs]
 
-    # -- the distributed backend ------------------------------------------------------
+    # -- the distributed/socket backends ----------------------------------------------
     def _ensure_queue(self):
         if self._queue is None:
-            from repro.experiments.queue import DirectoryQueue
-            root = self.queue_dir
-            if root is None:
-                root = tempfile.mkdtemp(prefix="pictor-queue-")
-                self._owned_queue_dir = Path(root)
-            self._queue = DirectoryQueue(root)
+            if self.backend == "socket":
+                from repro.experiments.socket_queue import SocketQueue
+                addr = self.queue_addr
+                if addr is None:
+                    # No external server: run one in-process over the
+                    # queue_dir (or a suite-owned temp directory).  The
+                    # suite's workers — and any external --addr worker —
+                    # connect over TCP exactly as they would to a
+                    # standalone `serve` process.
+                    from repro.experiments.server import QueueServer
+                    root = self.queue_dir
+                    if root is None:
+                        root = tempfile.mkdtemp(prefix="pictor-queue-")
+                        self._owned_queue_dir = Path(root)
+                    self._server = QueueServer(
+                        Path(root), lease_s=self.lease_s).start()
+                    addr = self._server.address
+                self._worker_log_dir = Path(
+                    tempfile.mkdtemp(prefix="pictor-socket-workers-"))
+                self._queue = SocketQueue(addr)
+            else:
+                from repro.experiments.queue import DirectoryQueue
+                root = self.queue_dir
+                if root is None:
+                    root = tempfile.mkdtemp(prefix="pictor-queue-")
+                    self._owned_queue_dir = Path(root)
+                self._queue = DirectoryQueue(root)
         return self._queue
+
+    def _worker_logs(self, queue) -> Path:
+        return (self._worker_log_dir if self._worker_log_dir is not None
+                else queue.worker_log_dir)
 
     def _ensure_workers(self, queue) -> None:
         from repro.experiments.worker import spawn_worker
@@ -266,7 +324,13 @@ class ExperimentSuite:
         while len(self._worker_procs) < self.workers:
             worker_id = f"suite-{os.getpid()}-w{self._worker_seq}"
             self._worker_seq += 1
-            proc = spawn_worker(queue.root, worker_id=worker_id)
+            if self.backend == "socket":
+                proc = spawn_worker(addr=self._queue.addr,
+                                    worker_id=worker_id,
+                                    heartbeat_s=2.0,
+                                    log_dir=self._worker_log_dir)
+            else:
+                proc = spawn_worker(queue.root, worker_id=worker_id)
             self._worker_procs.append((proc, worker_id))
 
     def _reap_dead_workers(self, queue) -> None:
@@ -285,18 +349,18 @@ class ExperimentSuite:
             logger.warning(
                 "spawned worker %s exited with code %s; requeued %d claimed "
                 "job(s); log: %s", worker_id, proc.returncode, len(requeued),
-                queue.worker_log_dir / f"{worker_id}.log")
+                self._worker_logs(queue) / f"{worker_id}.log")
         if self.spawn_workers and not alive and self._worker_procs:
             raise RuntimeError(
                 "all spawned distributed workers exited while jobs were "
-                f"outstanding; see logs under {queue.worker_log_dir}")
+                f"outstanding; see logs under {self._worker_logs(queue)}")
         self._worker_procs = alive
 
     def _run_distributed(self, ordered: list[ExperimentJob]) -> dict:
         queue = self._ensure_queue()
         outstanding: dict[str, ExperimentJob] = {}
-        for job in ordered:
-            outstanding[queue.submit(job)] = job
+        for key, job in zip(queue.submit_many(ordered), ordered):
+            outstanding[key] = job
         self._ensure_workers(queue)
 
         gathered: dict[ExperimentJob, tuple] = {}
@@ -315,11 +379,13 @@ class ExperimentSuite:
                         # entry (here: pre-existing in a shared queue,
                         # since submit() skips already-completed keys) is
                         # rejected with a log line and re-executed.
+                        store = getattr(queue, "results", None)
                         logger.warning(
                             "rejecting tampered cache entry %s: stamped "
                             "scenario hash %s does not match the job's "
                             "scenario %s (written at git rev %s); "
-                            "recomputing", queue.results.locate(key),
+                            "recomputing",
+                            store.locate(key) if store is not None else key,
                             entry.get("scenario_hash"),
                             job.scenario.content_hash(),
                             entry.get("git_rev", "unknown"))
@@ -340,24 +406,34 @@ class ExperimentSuite:
             if not outstanding:
                 break
             self._reap_dead_workers(queue)
-            queue.requeue_stale(self.lease_s)
+            if self.backend == "distributed":
+                # The socket backend's server runs its own sweep
+                # (heartbeat-timeout requeues plus this same lease
+                # backstop); only the directory transport needs the
+                # submitter to police leases.
+                queue.requeue_stale(self.lease_s)
             if not progressed:
                 if deadline is not None and time.monotonic() > deadline:
+                    where = (queue.root if self.backend == "distributed"
+                             else queue.addr)
                     raise TimeoutError(
-                        f"distributed backend timed out after "
+                        f"{self.backend} backend timed out after "
                         f"{self.timeout_s:g}s with {len(outstanding)} job(s) "
-                        f"outstanding in {queue.root}")
+                        f"outstanding in {where}")
                 if not self._worker_procs \
                         and time.monotonic() - last_warning > 30.0:
                     # No spawned workers to watch (spawn_workers=False):
                     # an external fleet may simply not be up yet, but
                     # don't hang silently.
                     last_warning = time.monotonic()
+                    start_hint = (f"--queue {queue.root}"
+                                  if self.backend == "distributed"
+                                  else f"--addr {queue.addr}")
                     logger.warning(
-                        "distributed backend waiting on %d job(s) with no "
-                        "spawned workers; start one with 'python -m "
-                        "repro.experiments worker --queue %s'",
-                        len(outstanding), queue.root)
+                        "%s backend waiting on %d job(s) with no spawned "
+                        "workers; start one with 'python -m "
+                        "repro.experiments worker %s'",
+                        self.backend, len(outstanding), start_hint)
                 time.sleep(0.05)
         return gathered
 
@@ -390,7 +466,8 @@ def default_suite() -> ExperimentSuite:
     * ``PICTOR_WORKERS`` — worker-process count (default 1 = serial);
     * ``PICTOR_CACHE_DIR`` — result cache directory (default: none);
     * ``PICTOR_BACKEND`` — pin a backend (default: inferred);
-    * ``PICTOR_QUEUE_DIR`` — work-queue directory (implies distributed).
+    * ``PICTOR_QUEUE_DIR`` — work-queue directory (implies distributed);
+    * ``PICTOR_QUEUE_ADDR`` — queue server ``host:port`` (implies socket).
 
     Suites are memoized per configuration so a process pool (or a fleet
     of spawned queue workers) is reused across calls rather than
@@ -400,10 +477,12 @@ def default_suite() -> ExperimentSuite:
     cache_dir = os.environ.get("PICTOR_CACHE_DIR") or None
     backend = os.environ.get("PICTOR_BACKEND") or None
     queue_dir = os.environ.get("PICTOR_QUEUE_DIR") or None
-    key = (workers, cache_dir, backend, queue_dir)
+    queue_addr = os.environ.get("PICTOR_QUEUE_ADDR") or None
+    key = (workers, cache_dir, backend, queue_dir, queue_addr)
     suite = _DEFAULT_SUITES.get(key)
     if suite is None:
         suite = ExperimentSuite(workers=workers, cache_dir=cache_dir,
-                                backend=backend, queue_dir=queue_dir)
+                                backend=backend, queue_dir=queue_dir,
+                                queue_addr=queue_addr)
         _DEFAULT_SUITES[key] = suite
     return suite

@@ -3,9 +3,12 @@
 The queue hands :class:`~repro.experiments.jobs.ExperimentJob` values
 (frozen, picklable, content-hashed) from one submitter to any number of
 workers, possibly on other machines.  :class:`WorkQueue` is the small
-transport-agnostic interface — a socket transport can slot in later —
-and :class:`DirectoryQueue` is the shipped implementation: a plain
-directory on a filesystem every participant can see.
+transport-agnostic interface; :class:`DirectoryQueue` is the base
+implementation — a plain directory on a filesystem every participant
+can see — and :class:`~repro.experiments.socket_queue.SocketQueue`
+reaches the same directory over TCP through a
+:class:`~repro.experiments.server.QueueServer`, inheriting every
+semantic below.
 
 The directory protocol::
 
@@ -55,7 +58,7 @@ import time
 import traceback
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.experiments.jobs import ExperimentJob
 from repro.experiments.store import ResultStore, atomic_write_bytes
@@ -76,12 +79,16 @@ def default_worker_id() -> str:
 
 @dataclass(frozen=True)
 class ClaimedJob:
-    """One job a worker holds exclusively until completed/failed/requeued."""
+    """One job a worker holds exclusively until completed/failed/requeued.
+
+    ``path`` is the claim file for directory-transport claims; socket
+    claims have no local file (the server holds it) and carry None.
+    """
 
     key: str
     job: ExperimentJob
     worker_id: str
-    path: Path
+    path: Optional[Path] = None
 
 
 @dataclass(frozen=True)
@@ -99,9 +106,29 @@ class WorkQueue(abc.ABC):
     def submit(self, job: ExperimentJob) -> str:
         """Enqueue ``job`` (idempotent per content hash); returns its key."""
 
+    def submit_many(self, jobs: Sequence[ExperimentJob]) -> list[str]:
+        """Enqueue ``jobs`` in order; returns their keys.
+
+        Semantically ``[self.submit(job) for job in jobs]``; transports
+        override it when a batch is materially cheaper (one duplicate
+        scan for the directory protocol, one frame for the socket one).
+        """
+        return [self.submit(job) for job in jobs]
+
     @abc.abstractmethod
     def claim(self, worker_id: Optional[str] = None) -> Optional[ClaimedJob]:
         """Exclusively claim the highest-priority pending job, or None."""
+
+    def heartbeat(self, worker_id: str,
+                  keys: Optional[Sequence[str]] = None) -> list[str]:
+        """Signal that ``worker_id`` is alive and working on ``keys``.
+
+        Refreshes the lease of the listed claims (``None`` = every claim
+        the worker holds) so an in-flight job outlives ``lease_s`` as
+        long as its worker keeps beating; returns the refreshed keys.
+        Transports without liveness tracking may treat it as a no-op.
+        """
+        return []
 
     @abc.abstractmethod
     def complete(self, claimed: ClaimedJob, result,
@@ -183,9 +210,18 @@ class DirectoryQueue(WorkQueue):
 
     # -- submitter side ---------------------------------------------------------------
     def submit(self, job: ExperimentJob) -> str:
+        return self._submit(job, self._queued_keys())
+
+    def submit_many(self, jobs: Sequence[ExperimentJob]) -> list[str]:
+        """Batch :meth:`submit`: one duplicate scan for the whole batch."""
+        queued = self._queued_keys()
+        return [self._submit(job, queued) for job in jobs]
+
+    def _submit(self, job: ExperimentJob, queued: set[str]) -> str:
         key = job.key()
-        if self.result_entry(key) is not None or key in self._queued_keys():
+        if key in queued or self.result_entry(key) is not None:
             return key
+        queued.add(key)
         name = f"{self._sequence:0{_PRIORITY_WIDTH}d}-{key}.job"
         self._sequence += 1
         atomic_write_bytes(self.root, self.pending_dir / name,
@@ -250,34 +286,135 @@ class DirectoryQueue(WorkQueue):
                        if p.name.endswith(".json")),
         )
 
+    def pending_files(self) -> list[tuple[str, Path]]:
+        """``(key, path)`` of every pending job, in priority order.
+
+        The paths feed :meth:`claim_file` — the queue server scans once
+        and claims by file instead of re-scanning per claim.
+        """
+        return [(self._key_of(path.name), path)
+                for path in sorted(self.pending_dir.iterdir())
+                if path.name.endswith(".job")]
+
+    def pending_keys(self) -> list[str]:
+        """Every pending job key, in priority (i.e. submission) order."""
+        return [key for key, _ in self.pending_files()]
+
+    def claimed_workers(self) -> set[str]:
+        """The worker ids currently holding claims (from the filenames).
+
+        A restarted coordinator (the queue server) adopts these into its
+        liveness registry: a worker that never heartbeats again has its
+        claims requeued after the heartbeat timeout instead of the full
+        lease.
+        """
+        return {path.name.split("@", 1)[1]
+                for path in self.claimed_dir.iterdir() if "@" in path.name}
+
     # -- worker side ------------------------------------------------------------------
-    def claim(self, worker_id: Optional[str] = None) -> Optional[ClaimedJob]:
+    def heartbeat(self, worker_id: str,
+                  keys: Optional[Sequence[str]] = None) -> list[str]:
+        """Refresh the lease clock (claim-file mtime) of a worker's claims.
+
+        With ``keys``, only the listed claims are refreshed — a claim
+        the worker does not acknowledge working on (e.g. one orphaned by
+        a retried CLAIM whose first response was lost) keeps aging and
+        is recovered by the ordinary lease expiry.
+        """
         worker = _SAFE_ID.sub("_", worker_id) if worker_id \
             else default_worker_id()
-        for path in sorted(self.pending_dir.iterdir()):
-            if not path.name.endswith(".job"):
+        suffix = f"@{worker}"
+        wanted = None if keys is None else set(keys)
+        refreshed = []
+        for path in self.claimed_dir.iterdir():
+            if not path.name.endswith(suffix):
                 continue
-            target = self.claimed_dir / f"{path.name}@{worker}"
-            try:
-                # The lease clock is the claim file's mtime, and rename
-                # preserves mtime — so refresh it *before* the rename.
-                # Refreshing after would leave a window where a job that
-                # sat pending longer than the lease looks instantly
-                # stale and requeue_stale snatches the claim back.
-                os.utime(path)
-                os.rename(path, target)
-            except FileNotFoundError:
-                continue                         # another worker won the race
             key = self._key_of(path.name)
-            try:
-                with target.open("rb") as handle:
-                    job = pickle.load(handle)
-            except Exception as error:
-                self._record_failure(key, error, worker)
-                target.unlink(missing_ok=True)
+            if wanted is not None and key not in wanted:
                 continue
-            return ClaimedJob(key=key, job=job, worker_id=worker, path=target)
+            try:
+                os.utime(path)
+            except FileNotFoundError:
+                continue                         # completed under our feet
+            refreshed.append(key)
+        return refreshed
+
+    def release_claim(self, key: str, worker_id: str) -> bool:
+        """Drop the claim ``worker_id`` holds on ``key`` (idempotent).
+
+        The server-side half of a remote completion: the result has been
+        stored, so the claim file — if a requeue has not already taken
+        it — is simply removed.
+        """
+        worker = _SAFE_ID.sub("_", worker_id) if worker_id \
+            else default_worker_id()
+        suffix = f"@{worker}"
+        for path in self.claimed_dir.iterdir():
+            if path.name.endswith(suffix) and self._key_of(path.name) == key:
+                path.unlink(missing_ok=True)
+                return True
+        return False
+
+    def record_failure(self, key: str, worker_id: str, error_repr: str,
+                       traceback_text: str = "") -> None:
+        """Write a failure marker from already-formatted error text (the
+        form a failure crosses the wire in)."""
+        marker = {
+            "key": key,
+            "worker": worker_id,
+            "error": error_repr,
+            "traceback": traceback_text,
+        }
+        atomic_write_bytes(self.root, self.failed_dir / f"{key}.json",
+                           json.dumps(marker, indent=2).encode("utf-8"))
+
+    def claim(self, worker_id: Optional[str] = None,
+              key: Optional[str] = None) -> Optional[ClaimedJob]:
+        """Claim the highest-priority pending job — or, with ``key``,
+        exactly that pending job (None when it is no longer pending)."""
+        for pending_key, path in self.pending_files():
+            if key is not None and pending_key != key:
+                continue
+            claimed = self.claim_file(path, worker_id)
+            if claimed is not None:
+                return claimed
+            # Another worker won the race (or the file was corrupt);
+            # with a specific key there is nothing else to try.
+            if key is not None:
+                return None
         return None
+
+    def claim_file(self, path: Path,
+                   worker_id: Optional[str] = None) -> Optional[ClaimedJob]:
+        """Atomically claim one specific pending file, or None.
+
+        None means the file is gone (another claimant won the rename
+        race) or unreadable (a failure marker was recorded and the file
+        dropped) — either way the caller just moves to its next
+        candidate.
+        """
+        worker = _SAFE_ID.sub("_", worker_id) if worker_id \
+            else default_worker_id()
+        target = self.claimed_dir / f"{path.name}@{worker}"
+        try:
+            # The lease clock is the claim file's mtime, and rename
+            # preserves mtime — so refresh it *before* the rename.
+            # Refreshing after would leave a window where a job that
+            # sat pending longer than the lease looks instantly
+            # stale and requeue_stale snatches the claim back.
+            os.utime(path)
+            os.rename(path, target)
+        except FileNotFoundError:
+            return None                          # another worker won the race
+        key = self._key_of(path.name)
+        try:
+            with target.open("rb") as handle:
+                job = pickle.load(handle)
+        except Exception as error:
+            self._record_failure(key, error, worker)
+            target.unlink(missing_ok=True)
+            return None
+        return ClaimedJob(key=key, job=job, worker_id=worker, path=target)
 
     def complete(self, claimed: ClaimedJob, result,
                  runtime_s: Optional[float] = None) -> None:
@@ -292,11 +429,5 @@ class DirectoryQueue(WorkQueue):
 
     def _record_failure(self, key: str, error: BaseException,
                         worker: str) -> None:
-        marker = {
-            "key": key,
-            "worker": worker,
-            "error": repr(error),
-            "traceback": "".join(traceback.format_exception(error)),
-        }
-        atomic_write_bytes(self.root, self.failed_dir / f"{key}.json",
-                           json.dumps(marker, indent=2).encode("utf-8"))
+        self.record_failure(key, worker, repr(error),
+                            "".join(traceback.format_exception(error)))

@@ -1,0 +1,247 @@
+"""``SocketQueue``: the TCP transport behind ``backend="socket"``.
+
+A drop-in :class:`~repro.experiments.queue.WorkQueue` whose every method
+is one request frame to a :class:`~repro.experiments.server.QueueServer`
+(see :mod:`repro.experiments.protocol` for the wire format).  The server
+fronts a plain :class:`~repro.experiments.queue.DirectoryQueue`, so the
+semantics — idempotent content-addressed submit, priority order, lease
+recovery, provenance-stamped results — are the directory transport's,
+unchanged; only the reach is new (workers no longer need the shared
+filesystem).
+
+**Failure model.**  Every call retries with exponential backoff over a
+fresh connection: a dropped connection, a restarted server, or a server
+that has not bound its port yet all look the same — transient — and a
+call only raises :class:`QueueConnectionError` once the retry budget is
+exhausted.  Retrying is safe for every request type:
+
+* SUBMIT, COMPLETE, FAIL, HEARTBEAT, REQUEUE and the queries are
+  idempotent (re-submitting a key is a no-op; re-storing a result writes
+  the byte-identical row).
+* CLAIM is the one non-idempotent request: if the server applied a claim
+  but the response was lost, the retry claims a *different* job and the
+  first claim is orphaned.  Orphans are never refreshed — heartbeats
+  name only the keys the worker is actually executing — so the ordinary
+  lease expiry requeues them.  Delivery stays at-least-once, and
+  at-least-once is safe because job execution is deterministic.
+
+A server-side failure (the server answered, with an ERROR frame) raises
+:class:`QueueRemoteError` and is **not** retried — the request arrived
+fine; repeating it would repeat the failure.
+"""
+
+from __future__ import annotations
+
+import logging
+import socket
+import threading
+import time
+import traceback
+from typing import Optional, Sequence
+
+from repro.experiments.jobs import ExperimentJob
+from repro.experiments.protocol import (
+    FrameError,
+    MessageType,
+    recv_frame,
+    send_frame,
+)
+from repro.experiments.queue import ClaimedJob, QueueCounts, WorkQueue
+
+__all__ = [
+    "QueueConnectionError",
+    "QueueRemoteError",
+    "SocketQueue",
+    "parse_addr",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Jobs per SUBMIT frame; bounds frame size for very large suites.
+_SUBMIT_CHUNK = 500
+
+
+class QueueConnectionError(ConnectionError):
+    """The server stayed unreachable through the whole retry budget."""
+
+
+class QueueRemoteError(RuntimeError):
+    """The server received the request and reported a failure."""
+
+
+def parse_addr(addr: str) -> tuple[str, int]:
+    """``"host:port"`` → ``(host, port)`` (the ``--addr`` CLI format)."""
+    host, _, port = addr.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"queue address {addr!r} is not of the form host:port")
+    return host, int(port)
+
+
+class SocketQueue(WorkQueue):
+    """A :class:`WorkQueue` speaking the framed protocol over TCP.
+
+    One persistent connection, re-established transparently inside the
+    retry loop; a lock serializes requests so a worker's heartbeat
+    thread can share the instance with its main loop.
+    """
+
+    def __init__(
+        self,
+        addr: str,
+        *,
+        timeout_s: float = 30.0,
+        retries: int = 8,
+        backoff_s: float = 0.05,
+        backoff_max_s: float = 2.0,
+    ):
+        self.addr = addr
+        self.host, self.port = parse_addr(addr)
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.backoff_max_s = backoff_max_s
+        self._lock = threading.RLock()
+        self._sock: Optional[socket.socket] = None
+
+    # -- connection management --------------------------------------------------------
+    def _connect(self) -> socket.socket:
+        if self._sock is None:
+            sock = socket.create_connection((self.host, self.port), timeout=self.timeout_s)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock = sock
+        return self._sock
+
+    def _disconnect(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def close(self) -> None:
+        with self._lock:
+            self._disconnect()
+
+    def __enter__(self) -> "SocketQueue":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- the request loop -------------------------------------------------------------
+    def _request(self, kind: MessageType, payload: dict) -> dict:
+        """One request/response exchange, retried over fresh connections.
+
+        Raises :class:`QueueRemoteError` on a server-reported failure
+        (not retried) and :class:`QueueConnectionError` once transport
+        errors exhaust the retry budget.
+        """
+        with self._lock:
+            delay = self.backoff_s
+            last_error: Optional[Exception] = None
+            for attempt in range(self.retries + 1):
+                if attempt:
+                    time.sleep(delay)
+                    delay = min(delay * 2, self.backoff_max_s)
+                try:
+                    sock = self._connect()
+                    send_frame(sock, kind, payload)
+                    reply = recv_frame(sock)
+                except (OSError, FrameError) as error:
+                    last_error = error
+                    self._disconnect()
+                    logger.debug(
+                        "queue request %s attempt %d/%d failed: %r",
+                        kind.name,
+                        attempt + 1,
+                        self.retries + 1,
+                        error,
+                    )
+                    continue
+                if reply is None:  # server closed between frames
+                    last_error = ConnectionError("server closed the connection")
+                    self._disconnect()
+                    continue
+                reply_kind, reply_payload = reply
+                if reply_kind is MessageType.ERROR:
+                    raise QueueRemoteError(
+                        (reply_payload or {}).get("error", "unknown server error")
+                    )
+                return reply_payload or {}
+            raise QueueConnectionError(
+                f"queue server {self.addr} unreachable after "
+                f"{self.retries + 1} attempts ({last_error!r})"
+            )
+
+    # -- submitter side ---------------------------------------------------------------
+    def submit(self, job: ExperimentJob) -> str:
+        return self._request(MessageType.SUBMIT, {"job": job})["keys"][0]
+
+    def submit_many(self, jobs: Sequence[ExperimentJob]) -> list[str]:
+        keys: list[str] = []
+        jobs = list(jobs)
+        for start in range(0, len(jobs), _SUBMIT_CHUNK):
+            chunk = jobs[start : start + _SUBMIT_CHUNK]
+            keys.extend(self._request(MessageType.SUBMIT, {"jobs": chunk})["keys"])
+        return keys
+
+    def result_entry(self, key: str) -> Optional[dict]:
+        return self._request(MessageType.RESULT, {"key": key})["entry"]
+
+    def failure(self, key: str) -> Optional[dict]:
+        return self._request(MessageType.FAILURE, {"key": key})["marker"]
+
+    def invalidate(self, key: str) -> None:
+        self._request(MessageType.INVALIDATE, {"key": key})
+
+    def requeue_stale(self, lease_s: float) -> list[str]:
+        return self._request(MessageType.REQUEUE, {"lease_s": lease_s})["keys"]
+
+    def requeue_worker(self, worker_id: str) -> list[str]:
+        return self._request(MessageType.REQUEUE, {"worker": worker_id})["keys"]
+
+    def counts(self) -> QueueCounts:
+        return self._request(MessageType.COUNTS, {})["counts"]
+
+    # -- worker side ------------------------------------------------------------------
+    def claim(self, worker_id: Optional[str] = None) -> Optional[ClaimedJob]:
+        reply = self._request(MessageType.CLAIM, {"worker": worker_id})
+        claimed = reply["claimed"]
+        if claimed is None:
+            return None
+        return ClaimedJob(
+            key=claimed["key"],
+            job=claimed["job"],
+            worker_id=claimed["worker"],
+            path=None,  # the server holds the claim file
+        )
+
+    def heartbeat(self, worker_id: str, keys: Optional[Sequence[str]] = None) -> list[str]:
+        return self._request(
+            MessageType.HEARTBEAT,
+            {"worker": worker_id, "keys": None if keys is None else list(keys)},
+        )["refreshed"]
+
+    def complete(self, claimed: ClaimedJob, result, runtime_s: Optional[float] = None) -> None:
+        self._request(
+            MessageType.COMPLETE,
+            {
+                "key": claimed.key,
+                "worker": claimed.worker_id,
+                "job": claimed.job,
+                "result": result,
+                "runtime_s": runtime_s,
+            },
+        )
+
+    def fail(self, claimed: ClaimedJob, error: BaseException) -> None:
+        self._request(
+            MessageType.FAIL,
+            {
+                "key": claimed.key,
+                "worker": claimed.worker_id,
+                "error": repr(error),
+                "traceback": "".join(traceback.format_exception(error)),
+            },
+        )

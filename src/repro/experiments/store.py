@@ -55,6 +55,7 @@ import pickle
 import sqlite3
 import subprocess
 import tempfile
+import threading
 import time
 from dataclasses import dataclass, field, is_dataclass
 from functools import lru_cache
@@ -212,8 +213,9 @@ class ResultStore:
     ``root`` may be a directory (the database lives at
     ``<root>/results.sqlite``, and any legacy ``*.pkl`` entries found in
     the directory are migrated on open) or a ``.sqlite`` / ``.db`` file
-    path.  Instances are cheap; each process opens its own connection
-    (re-opened transparently after a fork), and the journal mode + busy
+    path.  Instances are cheap; each thread of each process opens its
+    own connection (re-opened transparently after a fork — SQLite
+    connections are affine to both), and the journal mode + busy
     timeout make concurrent writers from other processes safe.
     ``wal=False`` selects the rollback journal instead of WAL — required
     when several *machines* write the database over a shared filesystem
@@ -231,8 +233,7 @@ class ResultStore:
             self.root = given
             self.db_path = given / RESULT_DB_FILENAME
         self.root.mkdir(parents=True, exist_ok=True)
-        self._conn: Optional[sqlite3.Connection] = None
-        self._conn_pid: Optional[int] = None
+        self._local = threading.local()
         # Directory-form roots promote themselves: any legacy pickle
         # entries sitting in the directory migrate on open.  An explicit
         # database path opens the file and nothing else (the CLI's
@@ -242,8 +243,15 @@ class ResultStore:
 
     # -- connection management --------------------------------------------------------
     def connection(self) -> sqlite3.Connection:
-        """This process's connection (fork-safe: children reconnect)."""
-        if self._conn is None or self._conn_pid != os.getpid():
+        """This thread's connection (fork-safe: children reconnect).
+
+        Per-thread because SQLite connections must not cross threads
+        (the queue server answers requests from one handler thread per
+        client connection); per-process because they must not cross a
+        fork either.
+        """
+        if getattr(self._local, "conn", None) is None \
+                or self._local.conn_pid != os.getpid():
             conn = sqlite3.connect(self.db_path, timeout=BUSY_TIMEOUT_S,
                                    isolation_level=None)
             conn.execute(f"PRAGMA busy_timeout = {int(BUSY_TIMEOUT_S * 1000)}")
@@ -258,15 +266,17 @@ class ResultStore:
                 # are the only SQLite coordination that spans machines.
                 conn.execute("PRAGMA journal_mode = DELETE")
             conn.executescript(_SCHEMA_SQL)
-            self._conn = conn
-            self._conn_pid = os.getpid()
-        return self._conn
+            self._local.conn = conn
+            self._local.conn_pid = os.getpid()
+        return self._local.conn
 
     def close(self) -> None:
-        if self._conn is not None and self._conn_pid == os.getpid():
-            self._conn.close()
-        self._conn = None
-        self._conn_pid = None
+        """Close *this thread's* connection (others close on GC)."""
+        conn = getattr(self._local, "conn", None)
+        if conn is not None and self._local.conn_pid == os.getpid():
+            conn.close()
+        self._local.conn = None
+        self._local.conn_pid = None
 
     def locate(self, key: str) -> str:
         """A human-readable location for ``key``, used in log lines (the

@@ -11,21 +11,36 @@ filesystem's advisory locks work), and repeats.  All scheduling
 intelligence (cost-based
 packing, crash recovery, lease management) lives with the submitter.
 
-Run one per core, on any machine that can see the queue directory::
+Run one per core, on any machine that can see the queue directory —
+or, with the socket transport, any machine that can reach the server::
 
     PYTHONPATH=src python -m repro.experiments worker --queue DIR
+    PYTHONPATH=src python -m repro.experiments worker --addr HOST:PORT
+
+While executing a job the worker heartbeats the queue (a no-op on the
+directory transport; on the socket transport the server refreshes the
+claim's lease and tracks the worker as alive) so an in-flight job
+outlives any fixed lease — and a worker that dies mid-job is noticed by
+its *silence* within the heartbeat timeout, not after the full lease.
+The heartbeat names exactly the keys the worker is executing, so a
+claim it never acknowledged (orphaned by a retried CLAIM) still ages
+out normally.
 
 :func:`run_worker` is the loop behind that entrypoint;
 :func:`spawn_worker` starts one as a local subprocess (what
-``ExperimentSuite``'s distributed backend does for you, and what the
-crash-recovery tests kill).
+``ExperimentSuite``'s distributed/socket backends and the
+:class:`~repro.experiments.coordinator.Coordinator` do for you, and
+what the crash-recovery tests kill).
 """
 
 from __future__ import annotations
 
+import logging
 import os
 import subprocess
 import sys
+import tempfile
+import threading
 import time
 from pathlib import Path
 from typing import Optional
@@ -35,10 +50,60 @@ from repro.experiments.queue import WorkQueue, default_worker_id
 
 __all__ = ["run_worker", "spawn_worker"]
 
+logger = logging.getLogger(__name__)
+
+#: Default seconds between worker heartbeats (socket transport).
+DEFAULT_HEARTBEAT_S = 2.0
+
+
+class _HeartbeatPump:
+    """A daemon thread beating ``queue.heartbeat(worker, keys)``.
+
+    ``keys`` is always the exact set of claims the worker is executing
+    right now — usually one, sometimes none (an empty list is still
+    sent: it is a pure liveness ping that keeps the server from
+    requeueing on the *next* claim's behalf).  Heartbeat failures are
+    logged and swallowed; liveness is advisory, and the worker's real
+    calls carry their own retry loop.
+    """
+
+    def __init__(self, queue: WorkQueue, worker_id: str, interval_s: float):
+        self._queue = queue
+        self._worker = worker_id
+        self._interval_s = interval_s
+        self._keys: list[str] = []
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, daemon=True,
+            name=f"heartbeat-{worker_id}")
+
+    def start(self) -> "_HeartbeatPump":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=self._interval_s + 1.0)
+
+    def set_keys(self, keys: list[str]) -> None:
+        with self._lock:
+            self._keys = list(keys)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval_s):
+            with self._lock:
+                keys = list(self._keys)
+            try:
+                self._queue.heartbeat(self._worker, keys=keys)
+            except Exception as error:
+                logger.warning("heartbeat failed (will retry): %r", error)
+
 
 def run_worker(queue: WorkQueue, *, worker_id: Optional[str] = None,
                poll_s: float = 0.2, max_jobs: Optional[int] = None,
-               idle_timeout_s: Optional[float] = None) -> int:
+               idle_timeout_s: Optional[float] = None,
+               heartbeat_s: Optional[float] = None) -> int:
     """Pull and execute jobs from ``queue``; returns how many completed.
 
     Runs until ``max_jobs`` jobs have completed or the queue has stayed
@@ -46,40 +111,63 @@ def run_worker(queue: WorkQueue, *, worker_id: Optional[str] = None,
     the spawning suite owns the process and terminates it on close).  A
     job that raises is recorded as a failure marker and the worker moves
     on; the submitter decides what a failure means.
+
+    With ``heartbeat_s`` the worker pings the queue that often, naming
+    the claim it is currently executing (see the module docstring).
     """
     worker = worker_id or default_worker_id()
+    pump = (_HeartbeatPump(queue, worker, heartbeat_s).start()
+            if heartbeat_s else None)
     executed = 0
     idle_since = time.monotonic()
-    while max_jobs is None or executed < max_jobs:
-        claimed = queue.claim(worker)
-        if claimed is None:
-            if idle_timeout_s is not None \
-                    and time.monotonic() - idle_since >= idle_timeout_s:
-                break
-            time.sleep(poll_s)
-            continue
-        try:
-            started = time.perf_counter()
-            result = execute_job(claimed.job)
-            runtime_s = time.perf_counter() - started
-        except Exception as error:
-            queue.fail(claimed, error)
-        else:
-            queue.complete(claimed, result, runtime_s=runtime_s)
-            executed += 1
-        idle_since = time.monotonic()
+    try:
+        while max_jobs is None or executed < max_jobs:
+            claimed = queue.claim(worker)
+            if claimed is None:
+                if idle_timeout_s is not None \
+                        and time.monotonic() - idle_since >= idle_timeout_s:
+                    break
+                time.sleep(poll_s)
+                continue
+            if pump is not None:
+                pump.set_keys([claimed.key])
+            try:
+                started = time.perf_counter()
+                result = execute_job(claimed.job)
+                runtime_s = time.perf_counter() - started
+            except Exception as error:
+                queue.fail(claimed, error)
+            else:
+                queue.complete(claimed, result, runtime_s=runtime_s)
+                executed += 1
+            finally:
+                if pump is not None:
+                    pump.set_keys([])
+            idle_since = time.monotonic()
+    finally:
+        if pump is not None:
+            pump.stop()
     return executed
 
 
-def spawn_worker(queue_root: os.PathLike | str, *, worker_id: str,
+def spawn_worker(queue_root: os.PathLike | str | None = None, *,
+                 addr: Optional[str] = None, worker_id: str,
                  poll_s: float = 0.05,
-                 idle_timeout_s: Optional[float] = None) -> subprocess.Popen:
-    """Start ``python -m repro.experiments worker`` against ``queue_root``.
+                 idle_timeout_s: Optional[float] = None,
+                 heartbeat_s: Optional[float] = None,
+                 log_dir: os.PathLike | str | None = None
+                 ) -> subprocess.Popen:
+    """Start ``python -m repro.experiments worker`` as a subprocess.
 
-    The child inherits the current environment with this checkout's
-    ``src`` prepended to ``PYTHONPATH`` (tests and suites don't export
-    it), and its output goes to ``<queue>/workers/<worker_id>.log``.
+    Give it a ``queue_root`` (directory transport) or an ``addr``
+    (socket transport, ``host:port``) — exactly one.  The child inherits
+    the current environment with this checkout's ``src`` prepended to
+    ``PYTHONPATH`` (tests and suites don't export it), and its output
+    goes to ``<log_dir>/<worker_id>.log`` — defaulting to the queue's
+    ``workers/`` directory, or a temp directory for socket workers.
     """
+    if (queue_root is None) == (addr is None):
+        raise ValueError("spawn_worker needs exactly one of queue_root/addr")
     import repro
 
     src_root = Path(repro.__file__).resolve().parents[1]
@@ -88,11 +176,19 @@ def spawn_worker(queue_root: os.PathLike | str, *, worker_id: str,
     env["PYTHONPATH"] = str(src_root) + (os.pathsep + existing
                                          if existing else "")
     command = [sys.executable, "-m", "repro.experiments", "worker",
-               "--queue", str(queue_root), "--worker-id", worker_id,
-               "--poll", str(poll_s)]
+               "--worker-id", worker_id, "--poll", str(poll_s)]
+    if queue_root is not None:
+        command += ["--queue", str(queue_root)]
+    else:
+        command += ["--addr", str(addr)]
     if idle_timeout_s is not None:
         command += ["--idle-timeout", str(idle_timeout_s)]
-    log_path = Path(queue_root) / "workers" / f"{worker_id}.log"
+    if heartbeat_s is not None:
+        command += ["--heartbeat", str(heartbeat_s)]
+    if log_dir is None:
+        log_dir = (Path(queue_root) / "workers" if queue_root is not None
+                   else Path(tempfile.gettempdir()) / "pictor-workers")
+    log_path = Path(log_dir) / f"{worker_id}.log"
     log_path.parent.mkdir(parents=True, exist_ok=True)
     with log_path.open("ab") as log:
         return subprocess.Popen(command, env=env, stdout=log, stderr=log)

@@ -215,6 +215,52 @@ def test_requeue_worker_recovers_a_known_dead_workers_claims(tmp_path, config):
     queue.complete(survivor, execute_job(job_b))
 
 
+def test_requeue_worker_with_no_claims_is_a_noop(tmp_path, config):
+    """Requeueing an unknown or already-drained worker id returns [] —
+    the coordinator calls this for every dead process, claims or not."""
+    queue = DirectoryQueue(tmp_path / "q")
+    assert queue.requeue_worker("never-seen") == []
+    job = ExperimentJob(Scenario.single("RE", config, seed_offset=1))
+    queue.submit(job)
+    claimed = queue.claim("w1")
+    queue.complete(claimed, execute_job(job))
+    assert queue.requeue_worker("w1") == []       # claim already released
+    assert queue.counts().pending == 0
+    assert queue.counts().completed == 1
+
+
+def test_requeue_worker_racing_a_complete_loses_gracefully(tmp_path, config,
+                                                           monkeypatch):
+    """The narrow race: a worker finishes its job between requeue's
+    directory scan and its rename.  The rename hits FileNotFoundError,
+    the requeue reports nothing, and the completed result stands —
+    the job neither duplicates nor requeues."""
+    from pathlib import Path
+
+    queue = DirectoryQueue(tmp_path / "q")
+    job = ExperimentJob(Scenario.single("RE", config, seed_offset=1))
+    queue.submit(job)
+    claimed = queue.claim("slow-worker")
+    result = execute_job(job)
+
+    real_rename = os.rename
+    raced = {"done": False}
+
+    def racing_rename(src, dst, *args, **kwargs):
+        if Path(src).parent == queue.claimed_dir and not raced["done"]:
+            raced["done"] = True
+            queue.complete(claimed, result)       # worker wins the race
+        return real_rename(src, dst, *args, **kwargs)
+
+    monkeypatch.setattr(os, "rename", racing_rename)
+    assert queue.requeue_worker("slow-worker") == []
+    assert raced["done"]
+    counts = queue.counts()
+    assert (counts.pending, counts.claimed, counts.completed) == (0, 0, 1)
+    assert queue.result_entry(job.key())["result"].as_dict() \
+        == result.as_dict()
+
+
 def test_worker_records_failures_as_markers(tmp_path, config, monkeypatch):
     """A job that raises becomes a failure marker the submitter can see;
     the worker moves on instead of dying."""

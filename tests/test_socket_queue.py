@@ -1,0 +1,475 @@
+"""The socket transport: server, client, heartbeats, recovery, equivalence.
+
+The headline contracts, mirroring the directory-queue suite:
+
+* the socket transport inherits DirectoryQueue semantics (idempotent
+  submit, priority order, provenance stamps) — it fronts the same
+  directory;
+* heartbeats keep an in-flight claim alive past any lease, and a
+  *silent* worker's claims requeue within the heartbeat timeout;
+* every client call retries over fresh connections, so a restarted
+  server degrades to a delay (or at worst a requeue) — never a lost or
+  duplicated result;
+* serial and socket-fleet runs are equivalent — including across a
+  worker SIGKILL plus a server restart mid-drain (the chaos test CI
+  runs by name).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    ExperimentJob,
+    ExperimentSuite,
+    Scenario,
+    execute_job,
+)
+from repro.experiments.protocol import MessageType
+from repro.experiments.queue import DirectoryQueue
+from repro.experiments.server import QueueServer
+from repro.experiments.socket_queue import (
+    QueueConnectionError,
+    QueueRemoteError,
+    SocketQueue,
+    parse_addr,
+)
+from repro.experiments.worker import run_worker, spawn_worker
+
+
+@pytest.fixture(scope="module")
+def config() -> ExperimentConfig:
+    return ExperimentConfig.smoke(seed=5)
+
+
+@pytest.fixture(scope="module")
+def jobs(config) -> list[ExperimentJob]:
+    return [
+        ExperimentJob(Scenario.mixed(("RE", "ITP", "D2"), config,
+                                     seed_offset=900)),
+        ExperimentJob(Scenario.single("RE", config, seed_offset=1)),
+        ExperimentJob(Scenario.mixed(("STK", "RE", "ITP", "D2"), config,
+                                     seed_offset=901, variant="optimized")),
+    ]
+
+
+@pytest.fixture
+def server(tmp_path):
+    with QueueServer(tmp_path / "q", heartbeat_timeout_s=60.0,
+                     sweep_interval_s=0.1) as srv:
+        yield srv
+
+
+@pytest.fixture
+def client(server):
+    queue = SocketQueue(server.address, retries=3, backoff_s=0.02)
+    yield queue
+    queue.close()
+
+
+def _report_dicts(results):
+    return [[report.as_dict() for report in result.reports]
+            for result in results]
+
+
+def _wait_for(predicate, timeout_s=30.0, poll_s=0.01, what="condition"):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(poll_s)
+    raise AssertionError(f"timed out after {timeout_s}s waiting for {what}")
+
+
+# ---------------------------------------------------------------------------
+# Protocol roundtrip over the wire: DirectoryQueue semantics inherited
+# ---------------------------------------------------------------------------
+
+def test_parse_addr():
+    assert parse_addr("127.0.0.1:7781") == ("127.0.0.1", 7781)
+    assert parse_addr("host.example:80") == ("host.example", 80)
+    with pytest.raises(ValueError, match="host:port"):
+        parse_addr("no-port")
+    with pytest.raises(ValueError, match="host:port"):
+        parse_addr(":7781")
+
+
+def test_submit_claim_complete_roundtrip_over_tcp(server, client, config):
+    job = ExperimentJob(Scenario.single("RE", config, seed_offset=1))
+    key = client.submit(job)
+    assert key == job.key()
+    assert client.counts().pending == 1
+
+    claimed = client.claim("w1")
+    assert claimed is not None
+    assert claimed.key == key
+    assert claimed.job == job
+    assert claimed.worker_id == "w1"
+    assert claimed.path is None                  # the server holds the file
+    assert client.counts().claimed == 1
+    assert client.claim("w2") is None
+
+    result = execute_job(job)
+    client.complete(claimed, result, runtime_s=0.5)
+    counts = client.counts()
+    assert (counts.pending, counts.claimed, counts.completed) == (0, 0, 1)
+
+    entry = client.result_entry(key)
+    assert entry["scenario_hash"] == job.scenario.content_hash()
+    assert entry["runtime_s"] == 0.5
+    assert entry["result"].as_dict() == result.as_dict()
+    assert client.failure(key) is None
+
+    # The wire changes nothing on disk: a DirectoryQueue over the same
+    # root sees exactly what a directory worker would have written.
+    assert server.queue.result_entry(key)["result"].as_dict() \
+        == result.as_dict()
+
+
+def test_submit_is_idempotent_over_tcp(server, client, config):
+    job = ExperimentJob(Scenario.single("RE", config, seed_offset=1))
+    assert client.submit(job) == client.submit(job)
+    assert client.counts().pending == 1
+    claimed = client.claim("w1")
+    client.submit(job)
+    assert client.counts().pending == 0
+    client.complete(claimed, execute_job(job))
+    client.submit(job)
+    assert client.counts().pending == 0
+    assert client.counts().completed == 1
+
+
+def test_submit_many_is_one_frame_and_keeps_order(server, client, config):
+    jobs = [ExperimentJob(Scenario.single("RE", config, seed_offset=i))
+            for i in range(5)]
+    keys = client.submit_many(jobs)
+    assert keys == [job.key() for job in jobs]
+    assert client.counts().pending == 5
+
+
+def test_server_orders_claims_largest_estimated_cost_first(server, client,
+                                                           config):
+    """Submit cheapest-first; the server hands them out biggest-first —
+    cross-submitter packing happens at claim time, not submit time."""
+    small = ExperimentJob(Scenario.single("RE", config, seed_offset=1))
+    medium = ExperimentJob(Scenario.mixed(("RE", "ITP"), config,
+                                          seed_offset=2))
+    large = ExperimentJob(Scenario.mixed(("RE", "ITP", "D2"), config,
+                                         seed_offset=3))
+    assert small.cost_units() < medium.cost_units() < large.cost_units()
+    client.submit_many([small, medium, large])
+    drained = [client.claim("w").job for _ in range(3)]
+    assert drained == [large, medium, small]
+
+
+def test_failures_cross_the_wire_as_markers(server, client, config):
+    job = ExperimentJob(Scenario.single("RE", config, seed_offset=1))
+    client.submit(job)
+    claimed = client.claim("w1")
+    try:
+        raise RuntimeError("injected failure")
+    except RuntimeError as error:
+        client.fail(claimed, error)
+    counts = client.counts()
+    assert (counts.claimed, counts.failed) == (0, 1)
+    marker = client.failure(job.key())
+    assert "injected failure" in marker["error"]
+    assert marker["worker"] == "w1"
+    assert "RuntimeError" in marker["traceback"]
+
+
+def test_invalidate_drops_a_completed_result(server, client, config):
+    job = ExperimentJob(Scenario.single("RE", config, seed_offset=1))
+    client.submit(job)
+    claimed = client.claim("w1")
+    client.complete(claimed, execute_job(job))
+    assert client.result_entry(job.key()) is not None
+    client.invalidate(job.key())
+    assert client.result_entry(job.key()) is None
+
+
+def test_server_reported_errors_raise_without_retry(server, client):
+    before = time.monotonic()
+    with pytest.raises(QueueRemoteError):
+        # A COMPLETE with no body is a server-side KeyError: the server
+        # answers with an ERROR frame, which must surface immediately
+        # (retrying a request the server processed repeats the failure).
+        client._request(MessageType.COMPLETE, {})
+    assert time.monotonic() - before < 1.0       # no backoff sleeps
+
+
+# ---------------------------------------------------------------------------
+# Heartbeats and liveness
+# ---------------------------------------------------------------------------
+
+def test_heartbeat_refreshes_only_the_named_claims(server, client, config):
+    job_a = ExperimentJob(Scenario.single("RE", config, seed_offset=1))
+    job_b = ExperimentJob(Scenario.single("ITP", config, seed_offset=2))
+    client.submit_many([job_a, job_b])
+    claim_a = client.claim("w1")
+    claim_b = client.claim("w1")
+
+    # Age both claim files past a 5s lease, then heartbeat only one.
+    queue = server.queue
+    old = time.time() - 60.0
+    for path in queue.claimed_dir.iterdir():
+        os.utime(path, (old, old))
+    assert client.heartbeat("w1", keys=[claim_a.key]) == [claim_a.key]
+
+    # The acknowledged claim survives the lease sweep; the orphan —
+    # exactly what a lost CLAIM response leaves behind — is requeued.
+    assert client.requeue_stale(lease_s=5.0) == [claim_b.key]
+    counts = client.counts()
+    assert (counts.pending, counts.claimed) == (1, 1)
+    assert claim_b.key in queue.pending_keys()
+
+
+def test_heartbeat_with_empty_keys_is_a_pure_liveness_ping(server, client,
+                                                           config):
+    job = ExperimentJob(Scenario.single("RE", config, seed_offset=1))
+    client.submit(job)
+    claimed = client.claim("w1")
+    old = time.time() - 60.0
+    for path in server.queue.claimed_dir.iterdir():
+        os.utime(path, (old, old))
+    assert client.heartbeat("w1", keys=[]) == []  # alive, but owns nothing
+    assert client.requeue_stale(lease_s=5.0) == [claimed.key]
+
+
+def test_silent_workers_claims_requeue_within_heartbeat_timeout(tmp_path,
+                                                                config):
+    with QueueServer(tmp_path / "q", heartbeat_timeout_s=0.5,
+                     sweep_interval_s=0.1) as server:
+        client = SocketQueue(server.address)
+        job = ExperimentJob(Scenario.single("RE", config, seed_offset=1))
+        client.submit(job)
+        claimed = client.claim("silent-worker")
+        assert claimed is not None
+
+        # Heartbeats hold the claim well past the timeout...
+        for _ in range(4):
+            time.sleep(0.3)
+            client.heartbeat("silent-worker", keys=[claimed.key])
+        assert client.counts().claimed == 1
+
+        # ...then silence: the sweeper requeues within ~timeout+sweep,
+        # a fraction of any real lease.
+        _wait_for(lambda: client.counts().pending == 1, timeout_s=10.0,
+                  what="the silent worker's claim to requeue")
+        rescued = client.claim("rescuer")
+        assert rescued.key == claimed.key
+        client.complete(rescued, execute_job(job))
+        client.close()
+
+
+def test_restarted_server_adopts_existing_claims(tmp_path, config):
+    """A new server inherits claim files from its predecessor: their
+    workers are registered provisionally, and ones that never heartbeat
+    again requeue after the heartbeat timeout — not the full lease."""
+    queue_root = tmp_path / "q"
+    job = ExperimentJob(Scenario.single("RE", config, seed_offset=1))
+    with QueueServer(queue_root, heartbeat_timeout_s=60.0) as first:
+        client = SocketQueue(first.address)
+        client.submit(job)
+        assert client.claim("ghost-worker") is not None
+        client.close()
+
+    with QueueServer(queue_root, heartbeat_timeout_s=0.5,
+                     sweep_interval_s=0.1) as second:
+        client = SocketQueue(second.address)
+        _wait_for(lambda: client.counts().pending == 1, timeout_s=10.0,
+                  what="the adopted ghost claim to requeue")
+        client.close()
+
+
+def test_run_worker_heartbeats_while_executing(tmp_path, config):
+    """An in-flight job far slower than the heartbeat timeout survives,
+    because the worker's pump keeps acknowledging it."""
+    with QueueServer(tmp_path / "q", heartbeat_timeout_s=1.0,
+                     sweep_interval_s=0.2) as server:
+        client = SocketQueue(server.address)
+        # ~3s of wall time (duration=120 simulated seconds): several
+        # heartbeat timeouts long.
+        slow = ExperimentJob(Scenario.single("RE", config, seed_offset=1),
+                             duration=120.0)
+        client.submit(slow)
+        executed = run_worker(client, worker_id="steady", poll_s=0.05,
+                              max_jobs=1, heartbeat_s=0.2)
+        assert executed == 1
+        counts = client.counts()
+        assert (counts.completed, counts.failed, counts.pending) == (1, 0, 0)
+        client.close()
+
+
+# ---------------------------------------------------------------------------
+# Client retry/backoff: connection loss degrades to a delay, not data loss
+# ---------------------------------------------------------------------------
+
+def test_unreachable_server_raises_connection_error(tmp_path):
+    with QueueServer(tmp_path / "q") as server:
+        dead_addr = server.address                # port freed on stop
+    client = SocketQueue(dead_addr, retries=2, backoff_s=0.01, timeout_s=1.0)
+    with pytest.raises(QueueConnectionError, match="unreachable"):
+        client.counts()
+
+
+def test_requests_ride_out_a_server_restart(tmp_path, config):
+    """A request that begins while the server is down succeeds once it
+    comes back inside the retry window — the worker never notices."""
+    import threading
+
+    queue_root = tmp_path / "q"
+    with QueueServer(queue_root) as first:
+        addr = first.address
+        client = SocketQueue(addr, retries=10, backoff_s=0.05)
+        job = ExperimentJob(Scenario.single("RE", config, seed_offset=1))
+        client.submit(job)
+
+    # Server is down.  Restart it on the same port shortly after the
+    # client has started retrying.
+    host, port = parse_addr(addr)
+    second = {}
+
+    def restart():
+        time.sleep(0.4)
+        second["server"] = QueueServer(queue_root, host=host,
+                                       port=port).start()
+
+    restarter = threading.Thread(target=restart)
+    restarter.start()
+    try:
+        claimed = client.claim("patient-worker")  # spans the outage
+        assert claimed is not None
+        assert claimed.job == job
+        client.complete(claimed, execute_job(job))
+        assert client.counts().completed == 1
+    finally:
+        restarter.join()
+        second["server"].stop()
+        client.close()
+
+
+# ---------------------------------------------------------------------------
+# Suite equivalence and the external fleet
+# ---------------------------------------------------------------------------
+
+def test_serial_and_socket_suites_agree(tmp_path, jobs):
+    serial = ExperimentSuite(backend="serial").run(jobs)
+    with ExperimentSuite(workers=2, backend="socket",
+                         queue_dir=tmp_path / "q", timeout_s=300) as suite:
+        socketed = suite.run(jobs)
+        assert suite.stats.executed == len(jobs)
+    assert _report_dicts(serial) == _report_dicts(socketed)
+    assert [r.as_dict() for r in serial] == [r.as_dict() for r in socketed]
+
+
+def test_external_addr_workers_drain_a_suite_submission(tmp_path, jobs):
+    """spawn_workers=False + an external --addr worker fleet: the
+    multi-machine deployment shape, over TCP instead of a shared
+    filesystem."""
+    with QueueServer(tmp_path / "q") as server:
+        workers = [spawn_worker(addr=server.address,
+                                worker_id=f"external-{i}", poll_s=0.02,
+                                idle_timeout_s=60.0, heartbeat_s=0.5,
+                                log_dir=tmp_path / "logs")
+                   for i in range(2)]
+        try:
+            with ExperimentSuite(backend="socket",
+                                 queue_addr=server.address,
+                                 spawn_workers=False,
+                                 timeout_s=300) as suite:
+                socketed = suite.run(jobs)
+        finally:
+            for proc in workers:
+                proc.terminate()
+            for proc in workers:
+                proc.wait(timeout=10)
+        assert server.queue.counts().completed == len(jobs)
+
+    serial = ExperimentSuite(backend="serial").run(jobs)
+    assert _report_dicts(socketed) == _report_dicts(serial)
+
+
+def test_suite_backend_validation(tmp_path):
+    with pytest.raises(ValueError, match="queue_addr"):
+        ExperimentSuite(backend="serial", queue_addr="127.0.0.1:1")
+    with pytest.raises(ValueError, match="exclusive"):
+        ExperimentSuite(queue_dir=tmp_path / "q", queue_addr="127.0.0.1:1",
+                        backend="socket")
+    assert ExperimentSuite(queue_addr="127.0.0.1:1").backend == "socket"
+    assert ExperimentSuite(backend="socket").backend == "socket"
+    assert ExperimentSuite(queue_dir=tmp_path / "q",
+                           backend="socket").backend == "socket"
+
+
+# ---------------------------------------------------------------------------
+# Chaos: SIGKILL a worker AND restart the server mid-drain
+# ---------------------------------------------------------------------------
+
+def test_chaos_worker_sigkill_and_server_restart_mid_drain(tmp_path, config):
+    """Kill -9 a heartbeating worker mid-job, then kill the server too
+    and restart it on the same port: the adopted claim requeues via the
+    heartbeat timeout, a rescue worker drains everything, and every
+    result is bit-identical to serial execution."""
+    queue_root = tmp_path / "q"
+    # Medium jobs (~1.5s wall each) so the SIGKILL lands mid-execution.
+    jobs = [ExperimentJob(Scenario.single(name, config, seed_offset=i),
+                          duration=60.0)
+            for i, name in enumerate(["RE", "ITP", "D2", "STK"])]
+
+    first = QueueServer(queue_root, heartbeat_timeout_s=1.0,
+                        sweep_interval_s=0.2).start()
+    addr = first.address
+    client = SocketQueue(addr, retries=10, backoff_s=0.05)
+    keys = client.submit_many(jobs)
+    assert len(keys) == len(jobs)
+
+    victim = spawn_worker(addr=addr, worker_id="victim", poll_s=0.02,
+                          heartbeat_s=0.2, log_dir=tmp_path / "logs")
+    try:
+        _wait_for(lambda: client.counts().claimed >= 1,
+                  what="the victim to claim a job")
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.wait(timeout=10)
+    finally:
+        if victim.poll() is None:
+            victim.kill()
+            victim.wait()
+
+    # Chaos, part two: the server dies with a claim outstanding...
+    first.stop()
+    claimed_before = DirectoryQueue(queue_root).counts().claimed
+    assert claimed_before >= 1
+
+    # ...and its replacement adopts the claim files it finds.  The dead
+    # victim never heartbeats again, so its claim requeues within the
+    # heartbeat timeout instead of any lease.
+    host, port = parse_addr(addr)
+    with QueueServer(queue_root, host=host, port=port,
+                     heartbeat_timeout_s=1.0, sweep_interval_s=0.2):
+        _wait_for(lambda: client.counts().claimed == 0, timeout_s=15.0,
+                  what="the dead victim's claim to requeue")
+        rescuer = spawn_worker(addr=addr, worker_id="rescuer", poll_s=0.02,
+                               heartbeat_s=0.2, log_dir=tmp_path / "logs")
+        try:
+            _wait_for(lambda: client.counts().completed == len(jobs),
+                      timeout_s=120.0, what="the rescuer to drain the queue")
+        finally:
+            rescuer.terminate()
+            rescuer.wait(timeout=10)
+
+        counts = client.counts()
+        assert (counts.pending, counts.claimed, counts.failed) == (0, 0, 0)
+        assert counts.completed == len(jobs)
+        for job in jobs:
+            entry = client.result_entry(job.key())
+            reference = execute_job(job)
+            assert entry["result"].as_dict() == reference.as_dict()
+            assert [r.as_dict() for r in entry["result"].reports] \
+                == [r.as_dict() for r in reference.reports]
+    client.close()

@@ -1,0 +1,71 @@
+"""Soak: thousands of tiny jobs through the coordinator's elastic fleet.
+
+Gated behind ``PICTOR_SOAK=1`` because it deliberately runs minutes,
+not seconds.  CI runs a smaller ``PICTOR_SOAK_JOBS`` slice on every
+push; the full 5,000-job drain is the release acceptance check:
+
+* every submitted job completes exactly once — the store's SQLite row
+  count equals the submission count *exactly* (no losses, and content
+  addressing plus idempotent COMPLETE mean no duplicates either);
+* the coordinator actually scales: with thousands pending it must
+  reach the worker ceiling, then drain back to zero.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+
+import pytest
+
+from repro.experiments import ExperimentConfig, ExperimentJob, Scenario
+from repro.experiments.coordinator import Coordinator
+from repro.experiments.server import QueueServer
+from repro.experiments.socket_queue import SocketQueue
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("PICTOR_SOAK") != "1",
+    reason="soak test: set PICTOR_SOAK=1 (and optionally PICTOR_SOAK_JOBS)",
+)
+
+JOB_COUNT = int(os.environ.get("PICTOR_SOAK_JOBS", "5000"))
+MAX_WORKERS = int(os.environ.get("PICTOR_SOAK_WORKERS", "8"))
+
+
+def test_soak_coordinator_drains_thousands_without_loss(tmp_path):
+    config = ExperimentConfig.smoke(seed=5)
+    # duration=0.05 simulated seconds: each job is a few milliseconds of
+    # wall time, so the soak measures transport and scheduling, not the
+    # simulator.  Distinct seed offsets make every job a distinct key.
+    jobs = [ExperimentJob(Scenario.single("RE", config, seed_offset=i),
+                          duration=0.05)
+            for i in range(JOB_COUNT)]
+
+    with QueueServer(tmp_path / "q", heartbeat_timeout_s=5.0,
+                     sweep_interval_s=0.5) as server:
+        client = SocketQueue(server.address)
+        keys = client.submit_many(jobs)
+        assert len(set(keys)) == JOB_COUNT
+
+        coordinator = Coordinator(server.address, min_workers=0,
+                                  max_workers=MAX_WORKERS,
+                                  scale_interval_s=0.3, poll_s=0.02,
+                                  name="soak")
+        try:
+            coordinator.run(until_drained=True, timeout_s=1800.0)
+        finally:
+            coordinator.stop(kill=True)
+
+        counts = client.counts()
+        assert (counts.pending, counts.claimed, counts.failed) == (0, 0, 0)
+        assert counts.completed == JOB_COUNT
+        assert coordinator.peak_workers >= MAX_WORKERS
+
+        # The acceptance criterion, verbatim: the store's row count is
+        # *exact* — query SQLite directly rather than trusting counts().
+        db_path = server.queue.results.db_path
+        client.close()
+
+    with sqlite3.connect(db_path) as conn:
+        (rows,) = conn.execute("SELECT COUNT(*) FROM results").fetchone()
+    assert rows == JOB_COUNT
