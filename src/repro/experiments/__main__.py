@@ -54,6 +54,27 @@ is the figure-regression check CI performs::
     PYTHONPATH=src python -m repro.experiments results export \
         --store .pictor-cache --format csv -o results.csv
     PYTHONPATH=src python -m repro.experiments results migrate old-cache/
+    PYTHONPATH=src python -m repro.experiments results gc \
+        --store .pictor-cache --keep 2 --dry-run
+    PYTHONPATH=src python -m repro.experiments results backfill \
+        --store .pictor-cache
+
+The ``fleet`` subcommand scales from single scenarios to sampled
+populations: a JSON :class:`~repro.fleet.PopulationSpec` describes
+distributions over the scenario registries, ``fleet run`` drains a
+deterministic sample through any backend, and ``fleet report`` answers
+per-cohort percentiles (p50/p95/p99 latency, FPS, power by network /
+machine / variant / mix arity) with pure SQL over the store — plus
+``--baseline REV`` deltas, the cross-revision perf ledger::
+
+    PYTHONPATH=src python -m repro.experiments fleet sample \
+        examples/fleet/smoke.json --n 50
+    PYTHONPATH=src python -m repro.experiments fleet run \
+        examples/fleet/smoke.json --n 50 --backend socket --workers 2 \
+        --cache-dir .fleet-cache --profile smoke
+    PYTHONPATH=src python -m repro.experiments fleet report \
+        examples/fleet/smoke.json --n 50 --store .fleet-cache \
+        --profile smoke --by network,variant --baseline deadbeef
 """
 
 from __future__ import annotations
@@ -223,6 +244,9 @@ def build_parser() -> argparse.ArgumentParser:
                                    "job list (see --list)")
     results_list.add_argument("--limit", type=int, default=None, metavar="N",
                               help="show at most N rows (newest first)")
+    results_list.add_argument("--offset", type=int, default=0, metavar="N",
+                              help="skip the first N rows (page through "
+                                   "large stores with --limit)")
     _add_config_options(results_list, suppress_defaults=True)
 
     results_show = results_sub.add_parser(
@@ -280,6 +304,122 @@ def build_parser() -> argparse.ArgumentParser:
     results_migrate.add_argument("source", metavar="DIR",
                                  help="legacy pickle cache directory")
     add_store(results_migrate)
+
+    results_gc = results_sub.add_parser(
+        "gc", help="prune rows superseded by newer revisions",
+        description="Drop result rows (and their indexed metrics) that "
+                    "newer revisions of the same key supersede, keeping "
+                    "the newest --keep revisions per key.  Replays only "
+                    "ever read the newest row, so older revisions are "
+                    "pure ledger history — this bounds a long-lived "
+                    "store's growth explicitly.  Every dropped pair is "
+                    "logged; --dry-run reports without deleting.")
+    add_store(results_gc)
+    results_gc.add_argument("--keep", type=int, default=1, metavar="N",
+                            help="revisions to keep per key, newest first "
+                                 "(default 1)")
+    results_gc.add_argument("--dry-run", action="store_true",
+                            help="report what would be dropped; delete "
+                                 "nothing")
+    results_gc.add_argument("--no-vacuum", action="store_true",
+                            help="skip the VACUUM that reclaims file "
+                                 "space after deleting")
+
+    results_backfill = results_sub.add_parser(
+        "backfill", help="index flattened metrics for pre-existing rows",
+        description="One-shot backfill of the indexed metrics table: "
+                    "every result row without metrics rows (written "
+                    "before the table existed) is unpickled once and its "
+                    "numeric metric leaves indexed, after which fleet "
+                    "reports over it are pure SQL.  Idempotent.")
+    add_store(results_backfill)
+
+    fleet = subcommands.add_parser(
+        "fleet",
+        help="sample scenario populations, drain them, report per cohort",
+        description="Fleet-scale sweeps: SPEC is a population spec — a "
+                    "JSON file path or inline JSON — describing "
+                    "distributions over benchmarks, mix sizes, instance "
+                    "counts, networks, machines and session variants.  "
+                    "Sampling is deterministic and streamable: the same "
+                    "spec, --n and --sample-seed yield byte-identical "
+                    "scenario sequences on every machine, so a report "
+                    "can rebuild the population a run drained without "
+                    "any side channel.")
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", metavar="action",
+                                     required=True)
+
+    def add_population(sub):
+        sub.add_argument("spec", metavar="SPEC",
+                         help="population spec: a JSON file path or "
+                              "inline JSON")
+        sub.add_argument("--n", type=int, default=100, metavar="N",
+                         help="population size to sample (default 100)")
+        sub.add_argument("--sample-seed", type=int, default=0, metavar="S",
+                         help="population sampling seed — independent of "
+                              "the config --seed (default 0)")
+
+    fleet_sample = fleet_sub.add_parser(
+        "sample", help="preview a sampled population without executing",
+        description="List the scenarios (index, hash, description) a "
+                    "sample draws, plus the population digest — one "
+                    "SHA-256 over the scenario hash sequence that two "
+                    "machines can compare to prove they sampled "
+                    "identical populations.")
+    add_population(fleet_sample)
+    fleet_sample.add_argument("--show", type=int, default=None, metavar="N",
+                              help="list at most N scenarios (the digest "
+                                   "still covers all of them)")
+    _add_config_options(fleet_sample, suppress_defaults=True)
+
+    fleet_run = fleet_sub.add_parser(
+        "run", help="drain a sampled population through the suite",
+        description="Sample --n scenarios and drain them through the "
+                    "chosen backend into --cache-dir's result store "
+                    "(required: the store is the fleet's ledger and what "
+                    "fleet report reads).  Interrupted runs resume for "
+                    "free — finished jobs replay from the store.")
+    add_population(fleet_run)
+    _add_execution_options(fleet_run, suppress_defaults=True)
+    _add_config_options(fleet_run, suppress_defaults=True)
+
+    fleet_report = fleet_sub.add_parser(
+        "report", help="per-cohort percentiles from the store (pure SQL)",
+        description="Aggregate the population's stored results into "
+                    "per-cohort p50/p95/p99 tables — by network, "
+                    "machine, session variant and mix arity — reading "
+                    "only the indexed metrics table and provenance "
+                    "columns (no result payload is unpickled).  Exits 1 "
+                    "when no stored row covers the population.")
+    add_population(fleet_report)
+    fleet_report.add_argument("--store", default=None, metavar="PATH",
+                              help="result store: the run's --cache-dir "
+                                   "or a .sqlite file")
+    fleet_report.add_argument("--by", default=None, metavar="DIM,...",
+                              help="cohort dimensions, comma-separated "
+                                   "(default: network,machine,variant,"
+                                   "arity; also: instances)")
+    fleet_report.add_argument("--metric", action="append", default=[],
+                              metavar="LABEL=PATTERN",
+                              help="metric selector (repeatable): a glob "
+                                   "over flattened metric names "
+                                   "('reports[*].rtt.mean') or @column "
+                                   "for a provenance column "
+                                   "('@runtime_s'); default: rtt_s, "
+                                   "client_fps, power_w, runtime_s")
+    fleet_report.add_argument("--git-rev", default=None, metavar="REV",
+                              help="pin to rows written at this revision "
+                                   "(prefix) instead of the newest row "
+                                   "per key")
+    fleet_report.add_argument("--baseline", default=None, metavar="REV",
+                              help="also print p50/p99 deltas against "
+                                   "this revision (prefix) — the "
+                                   "cross-revision perf ledger")
+    fleet_report.add_argument("--report", default=None, metavar="FILE",
+                              help="write the full report as JSON to "
+                                   "FILE (deterministic: byte-identical "
+                                   "across replays of the same store)")
+    _add_config_options(fleet_report, suppress_defaults=True)
 
     worker = subcommands.add_parser(
         "worker",
@@ -530,6 +670,10 @@ def _results_list(args) -> int:
     rows = store.rows(kind=args.kind, scenario_hash=args.scenario_hash,
                       git_rev=args.git_rev, keys=keys)
     total = len(rows)
+    offset = args.offset or 0
+    if offset < 0:
+        raise ValueError("--offset must be non-negative")
+    rows = rows[offset:]
     if args.limit is not None:
         rows = rows[:args.limit]
     display = [{
@@ -542,8 +686,11 @@ def _results_list(args) -> int:
                       else round(row["runtime_s"], 3)),
         "cost_units": row["cost_units"],
     } for row in rows]
-    title = (f"{total} result row(s) in {store.db_path}"
-             + (f" (showing {len(rows)})" if len(rows) < total else ""))
+    showing = ""
+    if offset or len(rows) < total:
+        showing = (f" (showing {len(rows)} from offset {offset})" if offset
+                   else f" (showing {len(rows)})")
+    title = f"{total} result row(s) in {store.db_path}{showing}"
     if display:
         print(format_rows(display, title=title))
     else:
@@ -680,6 +827,30 @@ def _results_migrate(args) -> int:
     return 0
 
 
+def _results_gc(args) -> int:
+    if args.keep < 1:
+        raise ValueError("--keep must be at least 1 (gc keeps the newest "
+                         "N revisions per key)")
+    store = _require_store(args)
+    report = store.gc(keep_revs=args.keep, dry_run=args.dry_run,
+                      vacuum=not args.no_vacuum)
+    verb = "would drop" if report.dry_run else "dropped"
+    print(f"results gc: {verb} {report.dropped_rows} superseded result "
+          f"row(s) and {report.dropped_metrics} metric row(s) across "
+          f"{report.keys} key(s); kept {report.kept_rows} row(s) "
+          f"(newest {report.keep_revs} revision(s) per key)"
+          + ("; vacuumed" if report.vacuumed else ""))
+    return 0
+
+
+def _results_backfill(args) -> int:
+    store = _require_store(args)
+    report = store.backfill_metrics()
+    print(f"results backfill: indexed metrics for {report.backfilled} "
+          f"row(s) ({report.skipped} skipped) in {store.db_path}")
+    return 0
+
+
 def _run_results(args) -> int:
     handlers = {
         "list": _results_list,
@@ -687,10 +858,175 @@ def _run_results(args) -> int:
         "diff": _results_diff,
         "export": _results_export,
         "migrate": _results_migrate,
+        "gc": _results_gc,
+        "backfill": _results_backfill,
     }
     try:
         return handlers[args.results_command](args)
     except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _load_population_spec(token: str):
+    """Interpret one CLI population spec (file path or inline JSON)."""
+    from repro.fleet import PopulationSpec
+    stripped = token.strip()
+    if stripped.startswith("{"):
+        data = json.loads(stripped)
+    elif Path(token).exists():
+        data = json.loads(Path(token).read_text())
+    else:
+        raise ValueError(f"cannot interpret population spec {token!r}: "
+                         "not an existing file or inline JSON")
+    return PopulationSpec.from_dict(data)
+
+
+def _fleet_sample(args) -> int:
+    from repro.fleet import population_digest, sample
+    spec = _load_population_spec(args.spec)
+    config = make_config(args)
+    scenarios = list(sample(spec, args.n, seed=args.sample_seed,
+                            config=config))
+    shown = scenarios if args.show is None else scenarios[:args.show]
+    rows = [{"index": index, "hash": scenario.short_hash(),
+             "scenario": scenario.describe()}
+            for index, scenario in enumerate(shown)]
+    title = (f"population {spec.name} [{spec.short_hash()}] — "
+             f"{len(scenarios)} sample(s), seed {args.sample_seed}"
+             + (f" (showing {len(shown)})" if len(shown) < len(scenarios)
+                else ""))
+    if rows:
+        print(format_rows(rows, title=title))
+    else:
+        print(title)
+    print(f"population digest: {population_digest(scenarios)}")
+    return 0
+
+
+def _fleet_run(args) -> int:
+    from repro.fleet import (
+        population_digest,
+        population_jobs,
+        scenarios_by_key,
+    )
+    spec = _load_population_spec(args.spec)
+    config = make_config(args)
+    if args.cache_dir is None:
+        raise ValueError("fleet run needs --cache-dir DIR: the result "
+                         "store is the fleet's ledger (and what fleet "
+                         "report reads)")
+    jobs = population_jobs(spec, args.n, seed=args.sample_seed,
+                           config=config)
+    index = scenarios_by_key(jobs)
+    suite = ExperimentSuite(workers=args.workers, cache_dir=args.cache_dir,
+                            backend=args.backend, queue_dir=args.queue,
+                            queue_addr=args.addr)
+    started = time.perf_counter()
+    with suite:
+        suite.run(jobs)
+        stats = suite.stats
+    elapsed = time.perf_counter() - started
+    # Deterministic stdout (serial / parallel / socket / replay agree);
+    # timing and throughput go to stderr.
+    print(f"population {spec.name} [{spec.short_hash()}]: "
+          f"{len(jobs)} sample(s), {len(index)} unique job(s), "
+          f"sample seed {args.sample_seed}")
+    print(f"population digest: "
+          f"{population_digest(job.scenario for job in jobs)}")
+    print(f"provenance: schema v{CACHE_SCHEMA_VERSION}, "
+          f"git {current_git_rev()[:12]}")
+    print(f"{len(jobs)} job(s) in {elapsed:.1f}s — "
+          f"{stats.submitted} submitted, {stats.executed} executed, "
+          f"{stats.deduplicated} deduplicated, {stats.cache_hits} cache "
+          f"hits ({args.workers} worker(s), {suite.backend} backend)",
+          file=sys.stderr)
+    return 0
+
+
+def _fleet_report(args) -> int:
+    from repro.fleet import (
+        DEFAULT_DIMENSIONS,
+        DEFAULT_METRICS,
+        MetricSelector,
+        compare_reports,
+        fleet_report,
+        population_jobs,
+        scenarios_by_key,
+    )
+    spec = _load_population_spec(args.spec)
+    config = make_config(args)
+    store = _require_store(args)
+    index = scenarios_by_key(population_jobs(spec, args.n,
+                                             seed=args.sample_seed,
+                                             config=config))
+    dimensions = (tuple(name.strip() for name in args.by.split(","))
+                  if args.by else DEFAULT_DIMENSIONS)
+    metrics = (tuple(MetricSelector.parse(text) for text in args.metric)
+               if args.metric else DEFAULT_METRICS)
+    report = fleet_report(store, index, dimensions=dimensions,
+                          metrics=metrics, git_rev=args.git_rev)
+
+    print(f"fleet report: population {spec.name} [{spec.short_hash()}], "
+          f"{report.covered}/{report.sampled} job(s) covered"
+          + (f" at rev {args.git_rev}" if args.git_rev else ""))
+    for metric in metrics:
+        stats = [s for s in report.stats if s.metric == metric.label]
+        rows = [{"dimension": s.dimension, "cohort": s.cohort,
+                 "n": s.count, "mean": round(s.mean, 4),
+                 "p50": round(s.p50, 4), "p95": round(s.p95, 4),
+                 "p99": round(s.p99, 4)} for s in stats]
+        if rows:
+            print(format_rows(rows, title=f"{metric.label} "
+                                          f"({metric.pattern})"))
+            print()
+
+    document = {"population": spec.to_dict(), "n": args.n,
+                "sample_seed": args.sample_seed, **report.to_dict()}
+    if args.baseline:
+        baseline = fleet_report(store, index, dimensions=dimensions,
+                                metrics=metrics, git_rev=args.baseline)
+        deltas = compare_reports(report, baseline)
+        rows = [{"metric": d["metric"], "dimension": d["dimension"],
+                 "cohort": d["cohort"],
+                 "p50": None if d["p50"] is None else round(d["p50"], 4),
+                 "p50_base": (None if d["p50_baseline"] is None
+                              else round(d["p50_baseline"], 4)),
+                 "p50_%": (None if d["p50_delta_pct"] is None
+                           else round(d["p50_delta_pct"], 2)),
+                 "p99_%": (None if d["p99_delta_pct"] is None
+                           else round(d["p99_delta_pct"], 2))}
+                for d in deltas]
+        title = (f"vs baseline {args.baseline} "
+                 f"({baseline.covered}/{baseline.sampled} covered)")
+        if rows:
+            print(format_rows(rows, title=title))
+        else:
+            print(title)
+        document["baseline"] = {"git_rev": args.baseline,
+                                "covered": baseline.covered,
+                                "deltas": deltas}
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n")
+        print(f"report written to {args.report}", file=sys.stderr)
+    if report.covered == 0:
+        print("no stored results cover this population; run "
+              "`fleet run` against this store first", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _run_fleet(args) -> int:
+    handlers = {
+        "sample": _fleet_sample,
+        "run": _fleet_run,
+        "report": _fleet_report,
+    }
+    try:
+        return handlers[args.fleet_command](args)
+    except (ValueError, KeyError, TypeError,
+            json.JSONDecodeError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
@@ -772,6 +1108,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         return _run_trace(args)
     if getattr(args, "command", None) == "results":
         return _run_results(args)
+    if getattr(args, "command", None) == "fleet":
+        return _run_fleet(args)
     if getattr(args, "command", None) == "worker":
         return _run_worker(args)
     if getattr(args, "command", None) == "serve":

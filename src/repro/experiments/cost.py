@@ -34,10 +34,15 @@ class CostModel:
     """Wall-clock estimates for experiment jobs.
 
     ``rates`` maps a job kind to calibrated wall seconds per cost unit;
-    kinds without a rate fall back to 1.0 (raw units).
+    kinds without a rate fall back to ``default_rate`` — 1.0 (raw
+    units) on a fresh model, the blended rate across every calibrated
+    kind on a fitted one.  Fleet populations sample kinds a store may
+    have never executed, and a blended fallback keeps those jobs
+    comparable to calibrated ones instead of wildly mis-packed.
     """
 
     rates: Mapping[str, float] = field(default_factory=dict)
+    default_rate: float = 1.0
 
     def estimate(self, job: "ExperimentJob") -> float:
         """Estimated wall seconds (or raw units, uncalibrated) for ``job``."""
@@ -51,7 +56,7 @@ class CostModel:
         ``(kind, cost_units)`` stamps — the pickled job itself never
         needs to be loaded to place it in the packing order.
         """
-        return units * self.rates.get(kind, 1.0)
+        return units * self.rates.get(kind, self.default_rate)
 
     @classmethod
     def calibrated(cls, cache: "ResultStore") -> "CostModel":
@@ -112,9 +117,15 @@ class CostCalibration:
         return calibration
 
     def model(self) -> CostModel:
-        return CostModel(rates={
+        rates = {
             kind: self.runtime_totals[kind] / self.unit_totals[kind]
-            for kind in self.unit_totals if self.unit_totals[kind] > 0})
+            for kind in self.unit_totals if self.unit_totals[kind] > 0}
+        # Kinds never executed against this store estimate at the
+        # blended rate over every observation, not the raw-units 1.0.
+        all_units = sum(self.unit_totals[kind] for kind in rates)
+        all_runtime = sum(self.runtime_totals[kind] for kind in rates)
+        default = all_runtime / all_units if all_units > 0 else 1.0
+        return CostModel(rates=rates, default_rate=default)
 
 
 def order_by_cost(jobs: Sequence["ExperimentJob"],

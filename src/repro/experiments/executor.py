@@ -169,6 +169,12 @@ class ExperimentSuite:
         # treat results as read-only; determinism makes sharing safe.
         self._memo: dict[ExperimentJob, object] = {}
 
+    @property
+    def store(self) -> Optional[ResultStore]:
+        """The suite's result store (``None`` when uncached) — the seam
+        fleet analytics reports through after a drain."""
+        return self._cache
+
     # -- lifecycle --------------------------------------------------------------------
     def close(self) -> None:
         if self._pool is not None:

@@ -50,6 +50,7 @@ from __future__ import annotations
 
 import json
 import logging
+import math
 import os
 import pickle
 import sqlite3
@@ -67,10 +68,12 @@ from repro.experiments.jobs import CACHE_SCHEMA_VERSION
 if TYPE_CHECKING:
     from repro.experiments.jobs import ExperimentJob
 
-__all__ = ["DiffDelta", "DiffReport", "MigrationReport", "PickleResultCache",
-           "RESULT_DB_FILENAME", "ResultCache", "ResultStore",
-           "atomic_write_bytes", "current_git_rev", "diff_result_sets",
-           "entry_metrics", "flatten_metrics", "migrate_pickle_dir"]
+__all__ = ["BackfillReport", "DiffDelta", "DiffReport", "GcReport",
+           "MigrationReport", "PROVENANCE_METRIC_COLUMNS",
+           "PickleResultCache", "RESULT_DB_FILENAME", "ResultCache",
+           "ResultStore", "atomic_write_bytes", "current_git_rev",
+           "diff_result_sets", "entry_metrics", "flatten_metrics",
+           "migrate_pickle_dir", "numeric_metrics"]
 
 logger = logging.getLogger(__name__)
 
@@ -102,7 +105,19 @@ CREATE INDEX IF NOT EXISTS idx_results_scenario_hash
     ON results (scenario_hash);
 CREATE INDEX IF NOT EXISTS idx_results_git_rev ON results (git_rev);
 CREATE INDEX IF NOT EXISTS idx_results_kind ON results (kind);
+CREATE TABLE IF NOT EXISTS metrics (
+    key     TEXT NOT NULL,
+    git_rev TEXT NOT NULL,
+    name    TEXT NOT NULL,
+    value   REAL NOT NULL,
+    PRIMARY KEY (key, git_rev, name)
+) WITHOUT ROWID;
+CREATE INDEX IF NOT EXISTS idx_metrics_name ON metrics (name);
 """
+
+#: Provenance columns :meth:`ResultStore.provenance_values` may serve as
+#: per-key metric streams (the fleet report's ``@column`` selectors).
+PROVENANCE_METRIC_COLUMNS = ("runtime_s", "cost_units", "duration")
 
 
 def atomic_write_bytes(directory: Path, path: Path, payload: bytes) -> None:
@@ -338,25 +353,54 @@ class ResultStore:
         """Insert a pre-built entry dict (the writer behind :meth:`put`,
         also the migration path).  With ``replace=False`` an existing
         ``(key, git_rev)`` row is left untouched (idempotent re-import);
-        returns whether a row was written."""
+        returns whether a row was written.
+
+        Alongside the result row, every numeric leaf of the result
+        payload is flattened (:func:`numeric_metrics` — the same dotted
+        names ``results diff`` compares) into the indexed ``metrics``
+        table in the same transaction, so fleet-scale cohort queries run
+        as pure SQL without ever unpickling a payload.
+        """
         conflict = "REPLACE" if replace else "IGNORE"
-        cursor = self.connection().execute(
-            f"INSERT OR {conflict} INTO results (key, git_rev, schema, kind, "
-            "duration, scenario_json, scenario_hash, runtime_s, cost_units, "
-            "created_at, entry) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-            (entry.get("key"), entry.get("git_rev", "unknown"),
-             entry.get("schema"), entry.get("kind"), entry.get("duration"),
-             json.dumps(entry.get("scenario", {}), sort_keys=True,
-                        default=list),
-             entry.get("scenario_hash", ""), entry.get("runtime_s"),
-             entry.get("cost_units"), time.time(),
-             pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)))
-        return cursor.rowcount > 0
+        key = entry.get("key")
+        git_rev = entry.get("git_rev", "unknown")
+        conn = self.connection()
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            cursor = conn.execute(
+                f"INSERT OR {conflict} INTO results (key, git_rev, schema, "
+                "kind, duration, scenario_json, scenario_hash, runtime_s, "
+                "cost_units, created_at, entry) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (key, git_rev,
+                 entry.get("schema"), entry.get("kind"), entry.get("duration"),
+                 json.dumps(entry.get("scenario", {}), sort_keys=True,
+                            default=list),
+                 entry.get("scenario_hash", ""), entry.get("runtime_s"),
+                 entry.get("cost_units"), time.time(),
+                 pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)))
+            written = cursor.rowcount > 0
+            if written:
+                conn.execute(
+                    "DELETE FROM metrics WHERE key = ? AND git_rev = ?",
+                    (key, git_rev))
+                conn.executemany(
+                    "INSERT OR REPLACE INTO metrics (key, git_rev, name, "
+                    "value) VALUES (?, ?, ?, ?)",
+                    [(key, git_rev, name, value) for name, value
+                     in sorted(numeric_metrics(entry).items())])
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        return written
 
     def invalidate(self, key: str) -> None:
         """Drop every revision's row for ``key`` (e.g. one that failed
         validation)."""
-        self.connection().execute("DELETE FROM results WHERE key = ?", (key,))
+        conn = self.connection()
+        conn.execute("DELETE FROM results WHERE key = ?", (key,))
+        conn.execute("DELETE FROM metrics WHERE key = ?", (key,))
 
     def __len__(self) -> int:
         """Distinct result keys on file (the pickle cache counted files)."""
@@ -435,6 +479,207 @@ class ResultStore:
             if entry is not None:
                 entries[record[0]] = entry
         return entries
+
+    # -- fleet analytics (pure SQL over provenance + metrics) -------------------------
+    def _population(self, conn: sqlite3.Connection, table: str,
+                    rows, columns: str) -> None:
+        """(Re)fill a temp table with a population selection.  Temp tables
+        are connection-local, so concurrent readers never collide."""
+        conn.execute(f"CREATE TEMP TABLE IF NOT EXISTS {table} "
+                     f"({columns}, PRIMARY KEY (key)) WITHOUT ROWID")
+        conn.execute(f"DELETE FROM {table}")
+        conn.executemany(
+            f"INSERT OR REPLACE INTO {table} VALUES "
+            f"({', '.join('?' * len(columns.split(',')))})", rows)
+
+    def select_newest(self, keys, git_rev: Optional[str] = None
+                      ) -> dict[str, str]:
+        """``key -> git_rev`` of the newest current-schema row per key.
+
+        The fleet report's row selection: restricted to the population
+        ``keys``, optionally pinned to a revision (prefix match), and
+        computed from provenance columns alone — no payload is unpickled.
+        Keys with no row on file are simply absent (the report counts
+        them as uncovered).
+        """
+        conn = self.connection()
+        self._population(conn, "_population_keys",
+                         ((key,) for key in keys), "key TEXT")
+        query = ("SELECT r.key, r.git_rev, r.created_at, r.rowid "
+                 "FROM results r JOIN _population_keys p ON p.key = r.key "
+                 "WHERE r.schema = ?")
+        params: list = [CACHE_SCHEMA_VERSION]
+        if git_rev is not None:
+            query += " AND r.git_rev LIKE ?"
+            params.append(git_rev + "%")
+        newest: dict[str, tuple] = {}
+        for key, rev, created_at, rowid in conn.execute(query, params):
+            current = newest.get(key)
+            if current is None or (created_at, rowid) > current[1]:
+                newest[key] = (rev, (created_at, rowid))
+        return {key: rev for key, (rev, _) in newest.items()}
+
+    def metric_values(self, selection: dict[str, str],
+                      pattern: str) -> dict[str, list[float]]:
+        """``key -> values`` of the metrics matching ``pattern`` among the
+        ``(key, git_rev)`` rows in ``selection``.
+
+        ``pattern`` is a SQL LIKE pattern (escape character ``\\``) over
+        the flattened dotted metric names; one key yields several values
+        when the pattern spans instances (``reports[%].rtt.mean``).
+        Values come straight from the indexed ``metrics`` table —
+        no pickle is ever loaded on this path.
+        """
+        conn = self.connection()
+        self._population(conn, "_population_rows",
+                         selection.items(), "key TEXT, git_rev TEXT")
+        values: dict[str, list[float]] = {}
+        for key, value in conn.execute(
+                "SELECT m.key, m.value FROM metrics m "
+                "JOIN _population_rows p "
+                "ON p.key = m.key AND p.git_rev = m.git_rev "
+                "WHERE m.name LIKE ? ESCAPE '\\' "
+                "ORDER BY m.key, m.name", (pattern,)):
+            values.setdefault(key, []).append(value)
+        return values
+
+    def provenance_values(self, selection: dict[str, str],
+                          column: str) -> dict[str, list[float]]:
+        """Like :meth:`metric_values` for a numeric provenance column
+        (``runtime_s`` / ``cost_units`` / ``duration``) — the seam that
+        turns the store into a cross-revision perf ledger."""
+        if column not in PROVENANCE_METRIC_COLUMNS:
+            raise ValueError(f"unknown provenance metric {column!r}; "
+                             f"known: {PROVENANCE_METRIC_COLUMNS}")
+        conn = self.connection()
+        self._population(conn, "_population_rows",
+                         selection.items(), "key TEXT, git_rev TEXT")
+        return {key: [value] for key, value in conn.execute(
+            f"SELECT r.key, r.{column} FROM results r "
+            "JOIN _population_rows p "
+            "ON p.key = r.key AND p.git_rev = r.git_rev "
+            f"WHERE r.{column} IS NOT NULL ORDER BY r.key")}
+
+    def backfill_metrics(self) -> "BackfillReport":
+        """One-shot metrics backfill for rows that predate the table.
+
+        Every current-schema result row without metrics rows gets its
+        payload unpickled once and its numeric leaves written — after
+        which the query path above never touches a payload again.
+        Idempotent; unreadable payloads are logged and skipped.
+        """
+        conn = self.connection()
+        pending = conn.execute(
+            "SELECT key, git_rev, entry FROM results r WHERE schema = ? "
+            "AND NOT EXISTS (SELECT 1 FROM metrics m WHERE m.key = r.key "
+            "AND m.git_rev = r.git_rev)",
+            (CACHE_SCHEMA_VERSION,)).fetchall()
+        report = BackfillReport()
+        for key, git_rev, blob in pending:
+            try:
+                entry = pickle.loads(blob)
+                rows = sorted(numeric_metrics(entry).items())
+            except Exception:
+                logger.warning("cache entry %s is unreadable; metrics not "
+                               "backfilled", self.locate(key))
+                report.skipped += 1
+                continue
+            if not rows:
+                report.skipped += 1
+                continue
+            conn.executemany(
+                "INSERT OR REPLACE INTO metrics (key, git_rev, name, value) "
+                "VALUES (?, ?, ?, ?)",
+                [(key, git_rev, name, value) for name, value in rows])
+            report.backfilled += 1
+        if report.backfilled:
+            logger.info("backfilled metrics for %d result row(s) in %s "
+                        "(%d skipped)", report.backfilled, self.db_path,
+                        report.skipped)
+        return report
+
+    # -- garbage collection -----------------------------------------------------------
+    def gc(self, keep_revs: int = 1, dry_run: bool = False,
+           vacuum: bool = True) -> "GcReport":
+        """Prune superseded rows: keep the newest ``keep_revs`` revisions
+        per key, drop the rest (results and metrics alike).
+
+        Long-lived fleet stores accumulate one row per ``(key, git_rev)``
+        across commits; replays only ever read the newest, so older
+        revisions are pure ledger history — bound it explicitly.  Every
+        dropped ``(key, git_rev)`` pair is logged.  ``dry_run`` reports
+        without deleting; ``vacuum`` returns the freed pages to the
+        filesystem afterwards.
+        """
+        if keep_revs < 1:
+            raise ValueError("keep_revs must be at least 1")
+        conn = self.connection()
+        by_key: dict[str, list[tuple]] = {}
+        for key, rev, created_at, rowid in conn.execute(
+                "SELECT key, git_rev, MAX(created_at), MAX(rowid) "
+                "FROM results GROUP BY key, git_rev"):
+            by_key.setdefault(key, []).append((created_at, rowid, rev))
+        report = GcReport(keys=len(by_key), keep_revs=keep_revs,
+                          dry_run=dry_run)
+        doomed: list[tuple[str, str]] = []
+        for key in sorted(by_key):
+            revs = sorted(by_key[key], reverse=True)
+            report.kept_rows += min(len(revs), keep_revs)
+            for _, _, rev in revs[keep_revs:]:
+                doomed.append((key, rev))
+                logger.info(
+                    "results gc: %s %s@%s (superseded; keeping the newest "
+                    "%d revision(s))", "would drop" if dry_run else
+                    "dropping", key[:12], rev[:12], keep_revs)
+        report.dropped_rows = len(doomed)
+        report.dropped_metrics = sum(
+            conn.execute("SELECT COUNT(*) FROM metrics "
+                         "WHERE key = ? AND git_rev = ?", pair).fetchone()[0]
+            for pair in doomed)
+        if doomed and not dry_run:
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                conn.executemany(
+                    "DELETE FROM results WHERE key = ? AND git_rev = ?",
+                    doomed)
+                conn.executemany(
+                    "DELETE FROM metrics WHERE key = ? AND git_rev = ?",
+                    doomed)
+                conn.execute("COMMIT")
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+            if vacuum:
+                conn.execute("VACUUM")
+                report.vacuumed = True
+        if report.dropped_rows:
+            logger.info(
+                "results gc: %s %d superseded row(s) across %d key(s) in %s "
+                "(%d kept)", "would drop" if dry_run else "dropped",
+                report.dropped_rows, report.keys, self.db_path,
+                report.kept_rows)
+        return report
+
+
+@dataclass
+class BackfillReport:
+    """What one :meth:`ResultStore.backfill_metrics` pass did."""
+
+    backfilled: int = 0
+    skipped: int = 0      # unreadable payloads / no numeric leaves
+
+
+@dataclass
+class GcReport:
+    """What one :meth:`ResultStore.gc` pass did (or would do)."""
+
+    keys: int = 0             # distinct keys examined
+    keep_revs: int = 1
+    kept_rows: int = 0
+    dropped_rows: int = 0     # superseded (key, git_rev) result rows
+    dropped_metrics: int = 0  # metrics rows that went with them
+    dry_run: bool = False
+    vacuumed: bool = False
 
 
 class ResultCache(ResultStore):
@@ -592,6 +837,15 @@ def entry_metrics(entry: dict) -> dict:
     if hasattr(result, "as_dict"):
         result = result.as_dict()
     return flatten_metrics(result)
+
+
+def numeric_metrics(entry: dict) -> dict[str, float]:
+    """The finite numeric leaves of one entry's result payload — the rows
+    the store's ``metrics`` table indexes.  Non-numeric leaves stay the
+    diff tooling's business; non-finite values are dropped (SQLite would
+    silently turn NaN into NULL)."""
+    return {name: value for name, value in entry_metrics(entry).items()
+            if isinstance(value, float) and math.isfinite(value)}
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,72 @@
+"""Fleet-scale experiment sweeps: sampled populations, cohort analytics.
+
+The fourth pillar next to :mod:`repro.scenarios`, :mod:`repro.sim` and
+:mod:`repro.experiments`.  Three layers:
+
+1. **Population sampling** — a declarative, content-hashed
+   :class:`PopulationSpec` describing distributions over the scenario
+   registries, and a deterministic, streamable :func:`sample` that turns
+   (spec, n, seed) into the same :class:`~repro.scenarios.Scenario`
+   sequence on every machine.
+2. **Fleet execution** — :func:`population_jobs` feeds a sample to the
+   existing :class:`~repro.experiments.ExperimentSuite` backends
+   unchanged; the content-addressed store makes interrupted runs
+   resumable for free.
+3. **Cohort analytics** — :func:`fleet_report` answers p50/p95/p99
+   latency, FPS and power per cohort (network, machine, variant, mix
+   arity) with pure SQL over the store's ``metrics`` table, and
+   :func:`compare_reports` turns two revisions of the same population
+   into a perf ledger.
+
+>>> from repro.fleet import PopulationSpec, sample
+>>> spec = PopulationSpec(benchmarks=("RE", "D2"), mix_sizes={1: 1, 2: 1})
+>>> [s.content_hash() for s in sample(spec, 3, seed=0)] == \\
+...     [s.content_hash() for s in sample(spec, 3, seed=0)]
+True
+"""
+
+from repro.fleet.analytics import (
+    COHORT_DIMENSIONS,
+    DEFAULT_DIMENSIONS,
+    DEFAULT_METRICS,
+    CohortStat,
+    FleetReport,
+    MetricSelector,
+    cohort_value,
+    compare_reports,
+    fleet_report,
+    like_pattern,
+    quantile,
+)
+from repro.fleet.population import (
+    POPULATION_SCHEMA_VERSION,
+    PopulationSpec,
+    sample,
+    sample_one,
+)
+from repro.fleet.runner import (
+    population_digest,
+    population_jobs,
+    scenarios_by_key,
+)
+
+__all__ = [
+    "COHORT_DIMENSIONS",
+    "CohortStat",
+    "DEFAULT_DIMENSIONS",
+    "DEFAULT_METRICS",
+    "FleetReport",
+    "MetricSelector",
+    "POPULATION_SCHEMA_VERSION",
+    "PopulationSpec",
+    "cohort_value",
+    "compare_reports",
+    "fleet_report",
+    "like_pattern",
+    "population_digest",
+    "population_jobs",
+    "quantile",
+    "sample",
+    "sample_one",
+    "scenarios_by_key",
+]

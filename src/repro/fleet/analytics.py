@@ -1,0 +1,237 @@
+"""SQL cohort analytics over a fleet's result store.
+
+Answers the fleet questions the ROADMAP names — p50/p95/p99 latency,
+FPS, and power *by cohort* (network, machine, session variant, mix
+arity) — from the store's indexed ``metrics`` table plus provenance
+columns.  **No result payload is ever unpickled on this path**: cohort
+membership comes from the sampled scenarios themselves, metric values
+from pure SQL (:meth:`~repro.experiments.store.ResultStore.metric_values`
+/ :meth:`~repro.experiments.store.ResultStore.provenance_values`).
+
+A :class:`MetricSelector` names either a glob over the flattened dotted
+metric names ``results diff`` already speaks (``reports[*].rtt.mean`` —
+one value per instance of every session) or, with an ``@`` prefix, a
+numeric provenance column (``@runtime_s``), which makes the same report
+a cross-revision *perf ledger*: :func:`compare_reports` against a
+``--baseline`` revision shows how runtimes and metrics moved between two
+commits over the identical population.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.experiments.store import ResultStore
+from repro.scenarios.scenario import Scenario
+from repro.scenarios.variants import variant_name
+
+__all__ = ["COHORT_DIMENSIONS", "CohortStat", "DEFAULT_DIMENSIONS",
+           "DEFAULT_METRICS", "FleetReport", "MetricSelector",
+           "cohort_value", "compare_reports", "fleet_report",
+           "like_pattern", "quantile"]
+
+#: Cohort dimensions a report can group by.  ``arity`` is the number of
+#: distinct benchmarks in the mix (a "3-way mix" has arity 3);
+#: ``instances`` counts every instance, so counted placements weigh in.
+COHORT_DIMENSIONS = ("network", "machine", "variant", "arity", "instances")
+
+DEFAULT_DIMENSIONS = ("network", "machine", "variant", "arity")
+
+#: ``*`` matches any run of characters; everything else is literal.
+_LIKE_SPECIALS = ("\\", "%", "_")
+
+
+@dataclass(frozen=True)
+class MetricSelector:
+    """One metric a fleet report aggregates.
+
+    ``pattern`` is a glob (``*`` wildcard) over flattened metric names,
+    or ``@column`` for a numeric provenance column
+    (:data:`~repro.experiments.store.PROVENANCE_METRIC_COLUMNS`).
+    """
+
+    label: str
+    pattern: str
+
+    @staticmethod
+    def parse(text: str) -> "MetricSelector":
+        """``LABEL=PATTERN`` (or a bare pattern labelled by itself)."""
+        label, _, pattern = text.partition("=")
+        if not pattern:
+            label, pattern = text, text
+        if not label or not pattern:
+            raise ValueError(f"cannot parse metric selector {text!r}; "
+                             "expected LABEL=PATTERN")
+        return MetricSelector(label, pattern)
+
+
+#: The questions the ROADMAP asks by default: latency, FPS, power —
+#: plus per-job runtime, the perf-ledger column.
+DEFAULT_METRICS = (
+    MetricSelector("rtt_s", "reports[*].rtt.mean"),
+    MetricSelector("client_fps", "reports[*].client_fps"),
+    MetricSelector("power_w", "average_power_watts"),
+    MetricSelector("runtime_s", "@runtime_s"),
+)
+
+
+def like_pattern(glob: str) -> str:
+    """The SQL LIKE form (escape ``\\``) of a ``*``-wildcard glob.
+
+    LIKE's own specials (``%``, ``_`` — underscores are everywhere in
+    metric names) are escaped, so only ``*`` is a wildcard."""
+    out = []
+    for char in glob:
+        if char == "*":
+            out.append("%")
+        elif char in _LIKE_SPECIALS:
+            out.append("\\" + char)
+        else:
+            out.append(char)
+    return "".join(out)
+
+
+def quantile(ordered: Sequence[float], q: float) -> float:
+    """The ``q``-quantile of an ascending sequence, linearly interpolated
+    (numpy's default).  Deterministic, so reports are byte-reproducible."""
+    if not ordered:
+        raise ValueError("quantile of an empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    position = (len(ordered) - 1) * q
+    low = math.floor(position)
+    high = math.ceil(position)
+    if low == high:
+        return ordered[low]
+    fraction = position - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+def cohort_value(scenario: Scenario, dimension: str) -> str:
+    """The cohort ``scenario`` belongs to along ``dimension``."""
+    if dimension == "network":
+        return scenario.network
+    if dimension == "machine":
+        return scenario.machine
+    if dimension == "variant":
+        return variant_name(scenario.variant) or "custom"
+    if dimension == "arity":
+        return str(len(scenario.placements))
+    if dimension == "instances":
+        return str(len(scenario.benchmarks))
+    raise ValueError(f"unknown cohort dimension {dimension!r}; "
+                     f"known: {COHORT_DIMENSIONS}")
+
+
+@dataclass(frozen=True)
+class CohortStat:
+    """One (metric, dimension, cohort) aggregate."""
+
+    metric: str
+    dimension: str
+    cohort: str
+    count: int                 # pooled values, not sessions
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    min: float
+    max: float
+
+    def to_dict(self) -> dict:
+        return {"metric": self.metric, "dimension": self.dimension,
+                "cohort": self.cohort, "count": self.count,
+                "mean": self.mean, "p50": self.p50, "p95": self.p95,
+                "p99": self.p99, "min": self.min, "max": self.max}
+
+
+@dataclass
+class FleetReport:
+    """Per-cohort aggregates for one population over one store."""
+
+    git_rev: Optional[str]     # revision filter, None = newest row per key
+    sampled: int               # population keys asked about
+    covered: int               # keys with a result row on file
+    stats: list[CohortStat]
+
+    def to_dict(self) -> dict:
+        return {"git_rev": self.git_rev, "sampled": self.sampled,
+                "covered": self.covered,
+                "stats": [stat.to_dict() for stat in self.stats]}
+
+
+def _aggregate(metric: str, dimension: str, cohort: str,
+               values: list[float]) -> CohortStat:
+    ordered = sorted(values)
+    return CohortStat(
+        metric=metric, dimension=dimension, cohort=cohort,
+        count=len(ordered), mean=math.fsum(ordered) / len(ordered),
+        p50=quantile(ordered, 0.50), p95=quantile(ordered, 0.95),
+        p99=quantile(ordered, 0.99), min=ordered[0], max=ordered[-1])
+
+
+def fleet_report(store: ResultStore,
+                 scenarios_by_key: Mapping[str, Scenario],
+                 dimensions: Iterable[str] = DEFAULT_DIMENSIONS,
+                 metrics: Iterable[MetricSelector] = DEFAULT_METRICS,
+                 git_rev: Optional[str] = None) -> FleetReport:
+    """Aggregate ``store``'s rows for one population into cohort stats.
+
+    ``scenarios_by_key`` is the population index (job key → sampled
+    scenario); rows are the newest per key, or pinned to ``git_rev``
+    (prefix).  Pure SQL + provenance: monkeypatching ``pickle.loads`` to
+    raise leaves this function working, and a test holds it to that.
+    """
+    dimensions = tuple(dimensions)
+    for dimension in dimensions:
+        if dimension not in COHORT_DIMENSIONS:
+            raise ValueError(f"unknown cohort dimension {dimension!r}; "
+                             f"known: {COHORT_DIMENSIONS}")
+    selection = store.select_newest(list(scenarios_by_key), git_rev=git_rev)
+    stats: list[CohortStat] = []
+    for metric in metrics:
+        if metric.pattern.startswith("@"):
+            by_key = store.provenance_values(selection, metric.pattern[1:])
+        else:
+            by_key = store.metric_values(selection,
+                                         like_pattern(metric.pattern))
+        for dimension in dimensions:
+            pools: dict[str, list[float]] = {}
+            for key, values in by_key.items():
+                cohort = cohort_value(scenarios_by_key[key], dimension)
+                pools.setdefault(cohort, []).extend(values)
+            for cohort in sorted(pools):
+                stats.append(_aggregate(metric.label, dimension, cohort,
+                                        pools[cohort]))
+    return FleetReport(git_rev=git_rev, sampled=len(scenarios_by_key),
+                       covered=len(selection), stats=stats)
+
+
+def compare_reports(current: FleetReport,
+                    baseline: FleetReport) -> list[dict]:
+    """Per-cohort deltas between two reports over the same population —
+    the perf-ledger view.  Cohorts present on only one side are listed
+    with the other side's columns empty."""
+    def indexed(report: FleetReport) -> dict[tuple, CohortStat]:
+        return {(s.metric, s.dimension, s.cohort): s for s in report.stats}
+
+    now, base = indexed(current), indexed(baseline)
+    deltas = []
+    for spot in sorted(set(now) | set(base)):
+        stat_a, stat_b = base.get(spot), now.get(spot)
+        row = {"metric": spot[0], "dimension": spot[1], "cohort": spot[2],
+               "p50": stat_b.p50 if stat_b else None,
+               "p50_baseline": stat_a.p50 if stat_a else None,
+               "p99": stat_b.p99 if stat_b else None,
+               "p99_baseline": stat_a.p99 if stat_a else None,
+               "p50_delta_pct": None, "p99_delta_pct": None}
+        if stat_a and stat_b:
+            for which in ("p50", "p99"):
+                reference = getattr(stat_a, which)
+                if reference:
+                    change = getattr(stat_b, which) - reference
+                    row[f"{which}_delta_pct"] = 100.0 * change / reference
+        deltas.append(row)
+    return deltas

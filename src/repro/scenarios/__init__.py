@@ -21,7 +21,7 @@ from repro.scenarios.machines import (
     machine_spec,
     register_machine_spec,
 )
-from repro.scenarios.mixes import n_way_mixes
+from repro.scenarios.mixes import mix_combinations, n_way_mixes, sample_mix
 from repro.scenarios.networks import NETWORKS, network_link, register_network
 from repro.scenarios.scenario import (
     AGENT_FACTORIES,
@@ -53,12 +53,14 @@ __all__ = [
     "SessionVariant",
     "agent_factory",
     "machine_spec",
+    "mix_combinations",
     "n_way_mixes",
     "network_link",
     "register_agent",
     "register_machine_spec",
     "register_network",
     "register_session_variant",
+    "sample_mix",
     "session_variant",
     "variant_name",
 ]

@@ -8,18 +8,46 @@ deeper mixes the ROADMAP calls for are one generator away.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.apps.registry import all_benchmarks
 from repro.scenarios.config import ExperimentConfig
 from repro.scenarios.scenario import Scenario
 
-__all__ = ["n_way_mixes"]
+__all__ = ["mix_combinations", "n_way_mixes", "sample_mix"]
 
 #: Seed-offset block reserved for the N-way mix sweeps, clear of the
 #: per-figure blocks (0–99 characterization, 100+ architecture, … 800+
 #: ablations).
 _NWAY_SEED_BASE = 900
+
+
+def mix_combinations(benchmarks, size: int) -> Iterator[tuple[str, ...]]:
+    """Every unordered mix of ``size`` distinct benchmarks, in pool order.
+
+    The canonical enumeration both :func:`n_way_mixes` (which walks it
+    exhaustively) and :func:`sample_mix` (which draws from it uniformly)
+    agree on: a mix is an unordered subset of the pool, represented as a
+    tuple sorted by pool position.
+    """
+    if size < 1:
+        raise ValueError("a mix needs at least one instance")
+    yield from combinations(tuple(benchmarks), size)
+
+
+def sample_mix(rng, benchmarks, size: int) -> tuple[str, ...]:
+    """One mix drawn uniformly from ``mix_combinations(benchmarks, size)``.
+
+    ``rng`` is a :class:`random.Random`; the draw consumes a fixed number
+    of its outputs, so callers (the fleet population sampler) get
+    reproducible streams without enumerating the combination space.
+    """
+    pool = tuple(benchmarks)
+    if not 1 <= size <= len(pool):
+        raise ValueError(f"cannot draw a {size}-way mix from a pool of "
+                         f"{len(pool)} benchmark(s)")
+    picked = rng.sample(range(len(pool)), size)
+    return tuple(pool[index] for index in sorted(picked))
 
 
 def n_way_mixes(config: Optional[ExperimentConfig] = None,
@@ -41,7 +69,7 @@ def n_way_mixes(config: Optional[ExperimentConfig] = None,
     for size in sizes:
         if size < 2:
             raise ValueError("a mix needs at least two instances")
-        for combo in combinations(benchmarks, size):
+        for combo in mix_combinations(benchmarks, size):
             scenarios.append(Scenario.mixed(combo, config=config,
                                             seed_offset=offset, **options))
             offset += 1
