@@ -30,6 +30,10 @@ class FpsCounter:
         self.env = env
         self.name = name
         self.timestamps: list[float] = []
+        # Frames credited by fast-forward macro jumps (rate x skipped
+        # seconds); they have no timestamps, so windowed/interframe views
+        # stay micro-only while totals cover the whole virtual interval.
+        self.synthetic_frames = 0.0
         self._started_at: Optional[float] = None
 
     def start(self) -> None:
@@ -41,20 +45,32 @@ class FpsCounter:
             self._started_at = self.env.now
         self.timestamps.append(self.env.now)
 
+    def record_synthetic(self, frames: float) -> None:
+        """Credit ``frames`` frames skipped over by a macro jump."""
+        if frames < 0:
+            raise ValueError("synthetic frame count cannot be negative")
+        self.synthetic_frames += frames
+
     @property
-    def frame_count(self) -> int:
-        return len(self.timestamps)
+    def frame_count(self) -> float:
+        count = len(self.timestamps) + self.synthetic_frames
+        return int(count) if not self.synthetic_frames else count
 
     def fps(self, elapsed: Optional[float] = None) -> float:
         """Average frames per second over the measurement interval."""
-        if not self.timestamps:
+        total = len(self.timestamps) + self.synthetic_frames
+        if not total:
             return 0.0
         if elapsed is None:
-            start = self._started_at if self._started_at is not None else self.timestamps[0]
+            start = self._started_at
+            if start is None:
+                if not self.timestamps:
+                    return 0.0
+                start = self.timestamps[0]
             elapsed = self.env.now - start
         if elapsed <= 0:
             return 0.0
-        return len(self.timestamps) / elapsed
+        return total / elapsed
 
     def windowed_fps(self, window: float = 1.0) -> float:
         """FPS over the most recent ``window`` seconds."""

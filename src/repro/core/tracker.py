@@ -34,6 +34,18 @@ class InputTracker:
         self.records: dict[int, InputRecord] = {}
         #: Inputs whose response frame has not yet reached the client.
         self.outstanding: set[int] = set()
+        # Inputs credited by fast-forward macro jumps (rate x skipped
+        # seconds, rounded); they carry no per-record detail, so the RTT
+        # and stage statistics stay micro-window sample means.
+        self.synthetic_tracked = 0
+        self.synthetic_completed = 0
+
+    def record_synthetic(self, tracked: int, completed: int) -> None:
+        """Credit inputs skipped over by a macro jump."""
+        if tracked < 0 or completed < 0:
+            raise ValueError("synthetic input counts cannot be negative")
+        self.synthetic_tracked += tracked
+        self.synthetic_completed += completed
 
     # -- record lifecycle -------------------------------------------------------
     def create_record(self, kind: str, timestamp: float,
@@ -141,8 +153,8 @@ class InputTracker:
 
     @property
     def tracked_inputs(self) -> int:
-        return len(self.records)
+        return len(self.records) + self.synthetic_tracked
 
     @property
     def completed_inputs(self) -> int:
-        return len(self.completed_records())
+        return len(self.completed_records()) + self.synthetic_completed

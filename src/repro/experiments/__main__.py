@@ -112,6 +112,8 @@ def make_config(args) -> ExperimentConfig:
         config = replace(config, max_instances=args.max_instances)
     if args.duration:
         config = replace(config, duration_s=args.duration)
+    if getattr(args, "fast_forward", False):
+        config = replace(config, fast_forward=True)
     return config
 
 
@@ -160,6 +162,11 @@ def _add_config_options(parser: argparse.ArgumentParser,
     parser.add_argument("--duration", type=float, default=default(None),
                         metavar="S",
                         help="override the measurement interval (seconds)")
+    parser.add_argument("--fast-forward", action="store_true",
+                        default=default(False),
+                        help="enable temporal upscaling (steady stretches "
+                             "advance in macro jumps; results are "
+                             "approximate — see experiments/README.md)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -274,6 +281,17 @@ def build_parser() -> argparse.ArgumentParser:
                               metavar="T",
                               help="relative tolerance per metric "
                                    "(default 0: bit-identical)")
+    results_diff.add_argument("--tolerances", default=None, metavar="FILE",
+                              help="per-metric tolerance table (a JSON "
+                                   "object of metric-name pattern -> "
+                                   "relative tolerance, '*' wildcards, "
+                                   "first match wins, 'default' key as "
+                                   "fallback); supersedes --tolerance")
+    results_diff.add_argument("--ignore-fast-forward", action="store_true",
+                              help="re-key both sides as if fast-forward "
+                                   "were disabled, so an exact run and "
+                                   "its temporally upscaled twin match "
+                                   "up for envelope comparison")
     results_diff.add_argument("--report", default=None, metavar="FILE",
                               help="also write the full diff report as "
                                    "JSON to FILE")
@@ -720,10 +738,20 @@ def _results_show(args) -> int:
 
 
 def _results_diff(args) -> int:
-    from repro.experiments.store import diff_result_sets
+    from repro.experiments.store import (
+        ToleranceTable,
+        diff_result_sets,
+        rekey_ignoring_fast_forward,
+    )
     set_a, label_a = _resolve_result_set(args.a, args.store)
     set_b, label_b = _resolve_result_set(args.b, args.store)
-    report = diff_result_sets(set_a, set_b, tolerance=args.tolerance)
+    if args.ignore_fast_forward:
+        set_a = rekey_ignoring_fast_forward(set_a)
+        set_b = rekey_ignoring_fast_forward(set_b)
+    table = (ToleranceTable.load(args.tolerances)
+             if args.tolerances else None)
+    report = diff_result_sets(set_a, set_b, tolerance=args.tolerance,
+                              tolerances=table)
 
     print(f"results diff: A={label_a} ({len(set_a)} result(s)) "
           f"vs B={label_b} ({len(set_b)} result(s))")
@@ -744,7 +772,12 @@ def _results_diff(args) -> int:
 
     if args.report:
         document = {"a": label_a, "b": label_b,
-                    "tolerance": args.tolerance, **report.to_dict()}
+                    "tolerance": args.tolerance,
+                    "tolerances": (dict(table.patterns,
+                                        default=table.default)
+                                   if table is not None else None),
+                    "ignore_fast_forward": bool(args.ignore_fast_forward),
+                    **report.to_dict()}
         Path(args.report).write_text(json.dumps(document, indent=2) + "\n")
         print(f"report written to {args.report}", file=sys.stderr)
 

@@ -229,7 +229,8 @@ def build_job_host(job: ExperimentJob) -> CloudHost:
 def _execute_host(job: ExperimentJob) -> HostResult:
     host = job.scenario.build_host()
     return host.run(duration=job.effective_duration(),
-                    warmup=job.scenario.config.warmup_s)
+                    warmup=job.scenario.config.warmup_s,
+                    fast_forward=job.scenario.config.fast_forward)
 
 
 def _execute_accuracy(job: ExperimentJob):

@@ -48,11 +48,14 @@ existing cache directories promote themselves.
 
 from __future__ import annotations
 
+import copy
+import hashlib
 import json
 import logging
 import math
 import os
 import pickle
+import re
 import sqlite3
 import subprocess
 import tempfile
@@ -71,9 +74,10 @@ if TYPE_CHECKING:
 __all__ = ["BackfillReport", "DiffDelta", "DiffReport", "GcReport",
            "MigrationReport", "PROVENANCE_METRIC_COLUMNS",
            "PickleResultCache", "RESULT_DB_FILENAME", "ResultCache",
-           "ResultStore", "atomic_write_bytes", "current_git_rev",
-           "diff_result_sets", "entry_metrics", "flatten_metrics",
-           "migrate_pickle_dir", "numeric_metrics"]
+           "ResultStore", "ToleranceTable", "atomic_write_bytes",
+           "current_git_rev", "diff_result_sets", "entry_metrics",
+           "flatten_metrics", "migrate_pickle_dir", "numeric_metrics",
+           "rekey_ignoring_fast_forward"]
 
 logger = logging.getLogger(__name__)
 
@@ -215,6 +219,10 @@ def build_entry(job: "ExperimentJob", result,
         "duration": job.duration,
         "scenario": job.scenario.to_dict(),
         "scenario_hash": job.scenario.content_hash(),
+        # Explicit fidelity stamp: fast-forwarded results carry the flag
+        # at the top level (not just inside the scenario dict), so no
+        # tooling can mistake a temporally upscaled run for an exact one.
+        "fast_forward": job.scenario.config.fast_forward.enabled,
         "git_rev": current_git_rev(),
         "runtime_s": runtime_s,
         "cost_units": job.cost_units(),
@@ -902,14 +910,116 @@ def _within_tolerance(a, b, tolerance: float) -> bool:
     return abs(a - b) <= tolerance * max(abs(a), abs(b), 1.0)
 
 
+class ToleranceTable:
+    """Per-metric relative tolerances for :func:`diff_result_sets`.
+
+    The fast-forward accuracy envelope is not one number: horizon-
+    normalized rates (FPS, utilization, power) land within a few percent
+    of the exact run, while sparse counters (inputs tracked in a short
+    window) carry much larger relative quantization.  A table maps metric
+    name patterns to tolerances so each class gets its own bar and the
+    envelope is a reviewable, committed artifact rather than one loose
+    scalar that hides regressions in the tight metrics.
+
+    Patterns support ``*`` wildcards only — matched with an escaped
+    regex, **not** :mod:`fnmatch`, because flattened metric names contain
+    literal brackets (``reports[0].client_fps``) that fnmatch would
+    parse as character classes.  First matching pattern wins, in table
+    order; metrics matching no pattern fall back to ``default``.
+    """
+
+    def __init__(self, patterns=(), default: float = 0.0):
+        self.default = float(default)
+        self.patterns: list[tuple[str, float]] = []
+        self._compiled: list[tuple[re.Pattern, float]] = []
+        for pattern, tolerance in patterns:
+            self.add(pattern, tolerance)
+
+    def add(self, pattern: str, tolerance: float) -> None:
+        if tolerance < 0:
+            raise ValueError(f"tolerance for {pattern!r} must be >= 0, "
+                             f"got {tolerance!r}")
+        regex = re.compile(
+            "^" + ".*".join(re.escape(part) for part in pattern.split("*"))
+            + "$")
+        self.patterns.append((pattern, float(tolerance)))
+        self._compiled.append((regex, float(tolerance)))
+
+    def tolerance_for(self, metric: str) -> float:
+        for regex, tolerance in self._compiled:
+            if regex.match(metric):
+                return tolerance
+        return self.default
+
+    @classmethod
+    def from_mapping(cls, mapping: dict) -> "ToleranceTable":
+        """Build from a ``pattern -> tolerance`` mapping (e.g. a loaded
+        JSON file).  The reserved key ``"default"`` sets the fallback,
+        dunder keys (``"__comment__"``) are ignored; the remaining
+        entries keep the mapping's order (first match wins, so put
+        specific patterns before broad ones)."""
+        table = cls(default=float(mapping.get("default", 0.0)))
+        for pattern, tolerance in mapping.items():
+            if pattern == "default" or pattern.startswith("__"):
+                continue
+            table.add(pattern, float(tolerance))
+        return table
+
+    @classmethod
+    def load(cls, path: os.PathLike | str) -> "ToleranceTable":
+        """Load a committed tolerance table (a flat JSON object)."""
+        with open(path, "r", encoding="utf-8") as handle:
+            mapping = json.load(handle)
+        if not isinstance(mapping, dict):
+            raise ValueError(f"tolerance table {path} must be a JSON "
+                             "object of pattern -> tolerance")
+        return cls.from_mapping(mapping)
+
+
+def rekey_ignoring_fast_forward(entries: dict[str, dict]) -> dict[str, dict]:
+    """Re-key a ``key → entry`` result set as if every scenario had the
+    default (disabled) fast-forward configuration.
+
+    Job keys deliberately include the fast-forward settings — a macro-
+    model approximation must never *replay* as the exact result — so an
+    exact run and its fast-forwarded twin normally occupy different keys
+    and ``results diff`` would report them as unmatched.  Envelope
+    checking wants exactly that comparison: this helper recomputes each
+    entry's key from its stamped provenance with ``fast_forward``
+    dropped from the scenario config, using the same canonical-JSON
+    hash as :meth:`ExperimentJob.key`, so the twins collide and diff
+    metric by metric.
+    """
+    rekeyed: dict[str, dict] = {}
+    for entry in entries.values():
+        scenario = copy.deepcopy(entry.get("scenario", {}))
+        if isinstance(scenario.get("config"), dict):
+            scenario["config"].pop("fast_forward", None)
+        payload = {
+            "kind": entry.get("kind"),
+            "duration": entry.get("duration"),
+            "scenario": {key: value for key, value in scenario.items()
+                         if key != "schema"},
+        }
+        canonical = json.dumps(payload, sort_keys=True,
+                               separators=(",", ":"), default=list)
+        rekeyed[hashlib.sha256(canonical.encode("utf-8")).hexdigest()] = entry
+    return rekeyed
+
+
 def diff_result_sets(a: dict[str, dict], b: dict[str, dict],
-                     tolerance: float = 0.0) -> DiffReport:
+                     tolerance: float = 0.0,
+                     tolerances: Optional[ToleranceTable] = None
+                     ) -> DiffReport:
     """Compare two ``key → entry`` sets metric by metric.
 
     ``tolerance`` is relative (with an absolute floor of 1.0 in the
     denominator, so near-zero metrics compare sanely); the default 0.0
     demands bit-identical numbers — the right bar for two runs of a
     deterministic executor, and what CI asserts across revisions.
+    ``tolerances`` supplies a per-metric :class:`ToleranceTable` instead
+    (the fast-forward accuracy envelope); when given it supersedes the
+    scalar for every metric.
     """
     report = DiffReport()
     report.only_in_a = sorted(set(a) - set(b))
@@ -922,10 +1032,12 @@ def diff_result_sets(a: dict[str, dict], b: dict[str, dict],
         for metric in sorted(set(metrics_a) | set(metrics_b)):
             value_a = metrics_a.get(metric)
             value_b = metrics_b.get(metric)
+            allowed = (tolerances.tolerance_for(metric)
+                       if tolerances is not None else tolerance)
             if value_a is None or value_b is None:
                 report.deltas.append(DiffDelta(key, metric, value_a, value_b))
                 clean = False
-            elif not _within_tolerance(value_a, value_b, tolerance):
+            elif not _within_tolerance(value_a, value_b, allowed):
                 report.deltas.append(DiffDelta(key, metric, value_a, value_b))
                 clean = False
         if clean:

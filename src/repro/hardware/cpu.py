@@ -247,10 +247,28 @@ class Cpu:
             self._last_change = now
 
     # -- reporting ---------------------------------------------------------------
-    def utilization(self, elapsed: Optional[float] = None) -> float:
-        """Machine-wide utilization in "cores busy" (e.g. 2.66 == 266%)."""
+    def demand_core_seconds(self) -> float:
+        """The busy-core integral so far (fast-forward probe seam)."""
         self._integrate()
-        horizon = elapsed if elapsed is not None else self.env.now
+        return self._demand_integral
+
+    def record_synthetic_demand(self, core_seconds: float) -> None:
+        """Credit ``core_seconds`` of busy-core time skipped by a macro jump."""
+        if core_seconds < 0:
+            raise ValueError("synthetic core-seconds cannot be negative")
+        self._integrate()
+        self._demand_integral += core_seconds
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Machine-wide utilization in "cores busy" (e.g. 2.66 == 266%).
+
+        Without an explicit horizon the virtual clock is used: the
+        integral includes macro-jump credit, so dividing by the virtual
+        elapsed keeps post-jump samples consistent (identical to
+        ``env.now`` when fast-forward never fired).
+        """
+        self._integrate()
+        horizon = elapsed if elapsed is not None else self.env.virtual_now
         if horizon <= 0:
             return 0.0
         return self._demand_integral / horizon

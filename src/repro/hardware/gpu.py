@@ -223,8 +223,25 @@ class Gpu:
             self._busy_since = None
 
     # -- reporting -----------------------------------------------------------------------
+    def busy_seconds(self) -> float:
+        """Total busy time so far, folding any in-progress render
+        (fast-forward probe seam)."""
+        busy = self._busy_time
+        if self._busy_since is not None:
+            busy += self.env.now - self._busy_since
+        return busy
+
+    def record_synthetic_busy(self, seconds: float) -> None:
+        """Credit ``seconds`` of busy time skipped by a macro jump."""
+        if seconds < 0:
+            raise ValueError("synthetic busy seconds cannot be negative")
+        self._busy_time += seconds
+
     def utilization(self, elapsed: Optional[float] = None) -> float:
-        horizon = elapsed if elapsed is not None else self.env.now
+        # Without an explicit horizon the virtual clock is used, so the
+        # macro-jump credit in _busy_time divides by the matching virtual
+        # elapsed (identical to env.now when fast-forward never fired).
+        horizon = elapsed if elapsed is not None else self.env.virtual_now
         if horizon <= 0:
             return 0.0
         busy = self._busy_time

@@ -72,8 +72,13 @@ class ServerMachine:
                                       self.cpu, self.gpu)
 
     def summary(self, elapsed: Optional[float] = None) -> dict[str, float]:
-        """One-line machine-level counters, used by the resource monitors."""
-        horizon = elapsed if elapsed is not None else self.env.now
+        """One-line machine-level counters, used by the resource monitors.
+
+        Without an explicit horizon the virtual clock is used so the
+        macro-jump credit in the counters divides by the matching
+        elapsed time (identical to ``env.now`` without fast-forward).
+        """
+        horizon = elapsed if elapsed is not None else self.env.virtual_now
         return {
             "cpu_utilization_cores": self.cpu.utilization(horizon),
             "gpu_utilization": self.gpu.utilization(horizon),

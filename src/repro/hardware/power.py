@@ -81,6 +81,11 @@ class PowerMeter:
         self.cpu = cpu
         self.gpu = gpu
         self.samples: list[tuple[float, float]] = []
+        # Weighted samples credited by fast-forward macro jumps: the sum
+        # and count a periodic sampler would have accumulated over the
+        # skipped interval at the macro steady-state power level.
+        self.synthetic_sum = 0.0
+        self.synthetic_count = 0.0
         self._instances = 0
 
     def set_instance_count(self, instances: int) -> None:
@@ -106,11 +111,31 @@ class PowerMeter:
             self.sample()
             yield self.env.timeout(interval)
 
+    def record_synthetic(self, watts: float, weight: float) -> None:
+        """Credit ``weight`` samples at ``watts`` skipped by a macro jump.
+
+        ``weight`` is the (fractional) number of periodic samples the
+        skipped interval would have produced; ``watts`` is the macro
+        model's steady-state power level for that interval.
+        """
+        if weight < 0:
+            raise ValueError("synthetic sample weight cannot be negative")
+        self.synthetic_sum += watts * weight
+        self.synthetic_count += weight
+
+    def steady_power(self, cpu_cores_busy: float,
+                     gpu_utilization: float) -> float:
+        """The model's power level at the given steady utilizations."""
+        return self.model.average_power(
+            cpu_cores_busy=cpu_cores_busy, gpu_utilization=gpu_utilization,
+            instances=self._instances)
+
     # -- reporting ---------------------------------------------------------------
     def average_power(self) -> float:
-        if not self.samples:
+        if not self.samples and not self.synthetic_count:
             return self.sample()
-        return sum(w for _, w in self.samples) / len(self.samples)
+        total = sum(w for _, w in self.samples) + self.synthetic_sum
+        return total / (len(self.samples) + self.synthetic_count)
 
     def energy_joules(self, elapsed: Optional[float] = None) -> float:
         horizon = elapsed if elapsed is not None else self.env.now

@@ -108,6 +108,12 @@ class NetworkLink:
                 f"got {direction!r}")
         return self._directions[direction]
 
+    def record_synthetic_bytes(self, direction: str, wire_bytes: float) -> None:
+        """Credit ``wire_bytes`` skipped over by a fast-forward macro jump."""
+        if wire_bytes < 0:
+            raise ValueError("synthetic wire bytes cannot be negative")
+        self._direction_state(direction).bytes_moved += wire_bytes
+
     # -- reporting ----------------------------------------------------------------
     def bandwidth_usage_mbps(self, direction: str,
                              elapsed: Optional[float] = None) -> float:

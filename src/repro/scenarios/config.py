@@ -14,9 +14,10 @@ for existing callers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 from repro.apps.registry import BENCHMARK_SHORT_NAMES
+from repro.sim.fastforward import FastForwardConfig
 
 __all__ = ["ExperimentConfig"]
 
@@ -34,6 +35,10 @@ class ExperimentConfig:
     recording_seconds: float = 12.0
     cnn_epochs: int = 10
     lstm_epochs: int = 25
+    # Temporal upscaling (repro.sim.fastforward); off by default.  Also
+    # accepts a bool or a partial dict — the JSON-spec / replace() forms.
+    fast_forward: FastForwardConfig = field(
+        default_factory=FastForwardConfig)
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0 or self.warmup_s < 0:
@@ -43,6 +48,8 @@ class ExperimentConfig:
         unknown = [b for b in self.benchmarks if b not in BENCHMARK_SHORT_NAMES]
         if unknown:
             raise ValueError(f"unknown benchmarks in config: {unknown}")
+        object.__setattr__(self, "fast_forward",
+                           FastForwardConfig.coerce(self.fast_forward))
 
     @staticmethod
     def quick(seed: int = 0) -> "ExperimentConfig":

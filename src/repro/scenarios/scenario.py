@@ -22,6 +22,7 @@ from typing import Callable, Optional
 
 from repro.apps.registry import all_benchmarks
 from repro.scenarios.config import ExperimentConfig
+from repro.sim.fastforward import FastForwardConfig
 from repro.scenarios.machines import MACHINE_SPECS, machine_spec
 from repro.scenarios.networks import NETWORKS, network_link
 from repro.scenarios.variants import SessionVariant, variant_name
@@ -208,6 +209,15 @@ class Scenario:
         well the pool is utilized.
         """
         span = self.config.duration_s if duration is None else duration
+        ff = self.config.fast_forward
+        if ff.enabled:
+            # Fast-forward micro-simulates only enough windows to
+            # establish steadiness plus the exit window; without this
+            # cap the queue packer would schedule a fast-forwarded
+            # two-minute run as if it cost a full-fidelity one.
+            micro_cap = (ff.window_s * (ff.min_steady_windows + 1)
+                         + ff.exit_window_s)
+            span = min(span, micro_cap)
         return (self.config.warmup_s + span) * len(self.benchmarks)
 
     def describe(self) -> str:
@@ -235,15 +245,23 @@ class Scenario:
             parts.append(f"net={self.network}")
         if self.containerized:
             parts.append("containerized")
+        if self.config.fast_forward.enabled:
+            parts.append("fast-forward")
         return " ".join(parts)
 
     # -- serialization ----------------------------------------------------------------
     def to_dict(self) -> dict:
         """A plain-data form that round-trips through :meth:`from_dict`."""
+        config = asdict(self.config)
+        # Omit-when-default: a config with fast-forward off serializes
+        # exactly as it did before the field existed, so every existing
+        # content hash, cache key and golden-trace header is preserved.
+        if self.config.fast_forward == FastForwardConfig():
+            del config["fast_forward"]
         return {
             "schema": SCENARIO_SCHEMA_VERSION,
             "placements": [asdict(p) for p in self.placements],
-            "config": asdict(self.config),
+            "config": config,
             "variant": self.variant.to_dict(),
             "machine": self.machine,
             "containerized": self.containerized,

@@ -157,12 +157,20 @@ class CloudHost:
         return TraceRecorder(self.env)
 
     # -- running ------------------------------------------------------------------------
-    def run(self, duration: float, warmup: float = 2.0) -> HostResult:
+    def run(self, duration: float, warmup: float = 2.0,
+            fast_forward=None) -> HostResult:
         """Run every instance for ``warmup + duration`` simulated seconds.
 
         Measurements (FPS counters, power sampling) cover only the
         measurement interval after the warm-up, mirroring the paper's note
         that results stabilize after the first minutes of a session.
+
+        With an enabled ``fast_forward``
+        (:class:`repro.sim.fastforward.FastForwardConfig`) the
+        measurement interval runs under temporal upscaling: the exact
+        kernel covers short micro windows and steady stretches are
+        advanced in coarse macro jumps that credit the same counters.
+        The warm-up is always micro-simulated in full.
         """
         if self._ran:
             raise RuntimeError("a CloudHost can only be run once; create a new one")
@@ -190,8 +198,15 @@ class CloudHost:
         self.env.process(self.machine.power_meter.sampling_process(
             self.config.power_sampling_interval))
 
-        self.env.run(until=measure_start + duration)
-        elapsed = self.env.now - measure_start
+        if fast_forward is not None and fast_forward.enabled:
+            from repro.sim.fastforward import run_fast_forward
+            run_fast_forward(self, measure_start, duration, fast_forward)
+            # The macro jumps credited the interval's counters, so the
+            # nominal (virtual) duration is the measurement horizon.
+            elapsed = duration
+        else:
+            self.env.run(until=measure_start + duration)
+            elapsed = self.env.now - measure_start
 
         reports = [self.pictor.build_report(session, elapsed)
                    for session in self.sessions]

@@ -70,6 +70,7 @@ __all__ = [
     "Environment",
     "Event",
     "Interrupt",
+    "MacroJump",
     "Process",
     "SimulationError",
     "Timeout",
@@ -251,6 +252,27 @@ class Timeout(Event):
             heappush(env._queue, (env._now + delay, _NORMAL_KEY + eid, self))
         else:
             env._fifo.append((_NORMAL_KEY + eid, self))
+
+
+class MacroJump(Event):
+    """Trace marker for one coarse fast-forward advance (macro step).
+
+    Emitted by :meth:`Environment.macro_advance` straight to the tracer —
+    never enqueued, so it consumes no sequence id and cannot perturb the
+    micro event order.  Its value is the virtual seconds skipped; the
+    micro clock (``env.now``) is unchanged, so trace timestamps stay
+    monotone by construction.
+    """
+
+    __slots__ = ("delta",)
+
+    def __init__(self, env: "Environment", delta: float):
+        self.env = env
+        self.callbacks = None  # born processed: nothing may wait on it
+        self._ok = True
+        self._value = float(delta)
+        self._defused = False
+        self.delta = float(delta)
 
 
 class Initialize(Event):
@@ -490,7 +512,7 @@ class Environment:
     """
 
     __slots__ = ("_now", "_queue", "_fifo", "_urgent", "_eid", "_pid",
-                 "_active_process", "_tracer")
+                 "_active_process", "_tracer", "_virtual_offset")
 
     PRIORITY_URGENT = 0
     PRIORITY_NORMAL = 1
@@ -506,12 +528,51 @@ class Environment:
         # Optional ``tracer(now, event)`` hook observed by step()/run();
         # install it (see repro.sim.trace.TraceRecorder) *before* running.
         self._tracer: Optional[Callable[[float, Event], None]] = None
+        # Virtual seconds credited by macro_advance(); the micro clock
+        # (_now) never jumps, so in-flight process-local timestamps can
+        # never straddle a discontinuity.
+        self._virtual_offset = 0.0
 
     # -- clock ------------------------------------------------------------
     @property
     def now(self) -> float:
         """Current simulation time (seconds by convention in this repo)."""
         return self._now
+
+    @property
+    def virtual_offset(self) -> float:
+        """Total virtual seconds credited by :meth:`macro_advance`."""
+        return self._virtual_offset
+
+    @property
+    def virtual_now(self) -> float:
+        """Micro clock plus the accumulated macro-jump credit.
+
+        This is the wall-clock position a full-fidelity run would have
+        reached; ``now`` itself stays the micro clock so every scheduled
+        event and in-flight duration remains consistent.
+        """
+        return self._now + self._virtual_offset
+
+    def macro_advance(self, delta: float) -> "MacroJump":
+        """Credit ``delta`` virtual seconds in one coarse macro jump.
+
+        The fast-forward layer (:mod:`repro.sim.fastforward`) calls this
+        after synthesizing the measurement counters the skipped interval
+        would have accumulated.  The micro clock and event queues are
+        untouched — the jump is a pure accounting overlay — but the jump
+        is made observable: a :class:`MacroJump` event is handed to the
+        tracer (if one is attached) at the current micro time.
+        """
+        if not delta > 0:
+            raise SimulationError(f"macro_advance delta must be positive, "
+                                  f"got {delta!r}")
+        self._virtual_offset += float(delta)
+        jump = MacroJump(self, delta)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer(self._now, jump)
+        return jump
 
     @property
     def active_process(self) -> Optional[Process]:

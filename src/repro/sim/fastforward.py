@@ -1,0 +1,413 @@
+"""Temporal upscaling: fast-forward steady intervals with a macro model.
+
+This module implements the heterogeneous-multiscale-method structure of
+Arjmand, Engblom & Kreiss (arXiv:1603.04920) and Leitenmaier & Runborg
+(arXiv:2108.09463) for the testbed simulator: the exact kernel runs in
+short *micro windows*; windowed per-session rate statistics (FPS, link
+and PCIe throughput, busy-core and GPU occupancy) feed a
+:class:`SteadyStateDetector`; once the rates are steady, a
+:class:`MacroModel` of per-second rates is extracted and the bulk of the
+remaining measurement interval is covered in **one coarse jump** that
+credits every measurement counter with exactly what the fine path's
+rates extrapolate to.  Micro simulation then resumes for a short exit
+window so the run ends on exact dynamics.
+
+Two design points keep this safe:
+
+* **The micro clock never jumps.**  A jump only increments
+  ``Environment._virtual_offset`` (see :meth:`Environment.macro_advance`)
+  and adds ``rate x delta`` to the counters, so in-flight process-local
+  timestamps (``env.now - started`` spans held across yields) can never
+  straddle a discontinuity.  Sample statistics — RTT distributions,
+  stage breakdowns, PMU fractions, miss rates — are left untouched: the
+  micro windows are their representative sample.
+* **Fast-forward is opt-in and provenance-stamped.**  The config
+  participates in the scenario content hash, so a fast-forwarded result
+  can never silently replay as a full-fidelity one; the trace recorder
+  sees an explicit ``MacroJump`` event for every coarse advance.
+
+Everything here is duck-typed against :class:`repro.server.host.CloudHost`
+(sessions, machine, meters) so the sim layer stays at the bottom of the
+dependency stack.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+__all__ = [
+    "FastForwardConfig",
+    "FastForwardSummary",
+    "MacroModel",
+    "Probe",
+    "SteadyStateDetector",
+    "build_probes",
+    "run_fast_forward",
+]
+
+
+@dataclass(frozen=True)
+class FastForwardConfig:
+    """Knobs of the fast-forward (temporal upscaling) mode.
+
+    ``enabled``
+        Off by default: the fine path is byte-identical to a build
+        without this module.
+    ``window_s``
+        Micro-window length over which rates are sampled.
+    ``min_steady_windows``
+        Consecutive windows whose rates must agree before a jump; also
+        the averaging span of the extracted macro model.
+    ``tolerance``
+        Relative spread allowed between windowed rates to call them
+        steady.  Windowed counts quantize (a 30 FPS stream yields 14/16
+        frames in alternating half-second windows), so this is a
+        steadiness criterion, not an accuracy bound — accuracy is
+        enforced downstream by the committed tolerance table.
+    ``exit_window_s``
+        Micro seconds re-simulated after the jump so the run ends on
+        exact dynamics.
+    """
+
+    enabled: bool = False
+    window_s: float = 0.5
+    min_steady_windows: int = 4
+    tolerance: float = 0.25
+    exit_window_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.window_s <= 0:
+            raise ValueError("fast-forward window_s must be positive")
+        if self.min_steady_windows < 2:
+            raise ValueError("min_steady_windows must be at least 2")
+        if self.tolerance <= 0:
+            raise ValueError("fast-forward tolerance must be positive")
+        if self.exit_window_s < 0:
+            raise ValueError("exit_window_s cannot be negative")
+
+    @staticmethod
+    def coerce(value: Any) -> "FastForwardConfig":
+        """Interpret a config value: an instance, a bool, or a dict.
+
+        ``True`` means "enabled with default knobs"; a dict is the
+        JSON-spec form (``{"enabled": true, "window_s": 0.25}``).
+        """
+        if isinstance(value, FastForwardConfig):
+            return value
+        if value is None:
+            return FastForwardConfig()
+        if isinstance(value, bool):
+            return FastForwardConfig(enabled=value)
+        if isinstance(value, dict):
+            unknown = set(value) - set(FastForwardConfig.__dataclass_fields__)
+            if unknown:
+                raise ValueError(
+                    f"unknown fast_forward fields {sorted(unknown)}")
+            return FastForwardConfig(**value)
+        raise TypeError(f"cannot interpret {value!r} as a fast-forward "
+                        "config (expected bool, dict or FastForwardConfig)")
+
+
+class SteadyStateDetector:
+    """Declares steady state from consecutive windowed rate dictionaries.
+
+    The detector only ever sees measurement-interval windows (the
+    fast-forward loop starts after warm-up), so it is structurally
+    incapable of firing during warm-up; and it never reports steady with
+    fewer than ``min_windows`` observations, so a jump can never be based
+    on a transient.
+    """
+
+    def __init__(self, min_windows: int, tolerance: float,
+                 floor: float = 1.0):
+        if min_windows < 2:
+            raise ValueError("min_windows must be at least 2")
+        if tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        if floor <= 0:
+            raise ValueError("floor must be positive")
+        self.min_windows = min_windows
+        self.tolerance = tolerance
+        self.floor = floor
+        self._history: deque[dict[str, float]] = deque(maxlen=min_windows)
+
+    def observe(self, rates: dict[str, float]) -> None:
+        """Record one micro window's per-second rates."""
+        self._history.append(dict(rates))
+
+    def reset(self) -> None:
+        """Forget all observations (call after every macro jump)."""
+        self._history.clear()
+
+    @property
+    def observed_windows(self) -> int:
+        return len(self._history)
+
+    @property
+    def steady(self) -> bool:
+        """True when the last ``min_windows`` windows agree on every rate."""
+        if len(self._history) < self.min_windows:
+            return False
+        keys = set()
+        for window in self._history:
+            keys.update(window)
+        for key in keys:
+            values = [window.get(key, 0.0) for window in self._history]
+            mean = sum(values) / len(values)
+            spread = max(values) - min(values)
+            if spread > self.tolerance * max(abs(mean), self.floor):
+                return False
+        return True
+
+    def mean_rates(self) -> dict[str, float]:
+        """Mean rate per key over the observed windows."""
+        if not self._history:
+            return {}
+        keys: set[str] = set()
+        for window in self._history:
+            keys.update(window)
+        return {key: sum(window.get(key, 0.0) for window in self._history)
+                / len(self._history) for key in sorted(keys)}
+
+
+@dataclass(frozen=True)
+class MacroModel:
+    """The extracted steady-state model: per-second counter rates.
+
+    A frozen value object so it can be logged, serialized and
+    round-tripped (:meth:`to_dict` / :meth:`from_dict`) — the rates are
+    the complete description of what a coarse jump will credit.
+    """
+
+    rates: tuple[tuple[str, float], ...]
+
+    @staticmethod
+    def from_rates(rates: dict[str, float]) -> "MacroModel":
+        return MacroModel(rates=tuple(sorted(
+            (str(key), float(value)) for key, value in rates.items())))
+
+    def rate(self, key: str) -> float:
+        for name, value in self.rates:
+            if name == key:
+                return value
+        return 0.0
+
+    def extrapolate(self, delta: float) -> dict[str, float]:
+        """Counter increments for ``delta`` skipped seconds."""
+        if delta < 0:
+            raise ValueError("cannot extrapolate a negative interval")
+        return {name: value * delta for name, value in self.rates}
+
+    def to_dict(self) -> dict:
+        return {"rates": {name: value for name, value in self.rates}}
+
+    @staticmethod
+    def from_dict(data: dict) -> "MacroModel":
+        return MacroModel.from_rates(dict(data.get("rates", {})))
+
+
+class Probe:
+    """One fast-forwardable counter: how to read it and how to credit it.
+
+    ``detect`` marks the high-rate signals whose windowed rates feed the
+    steady-state detector; sparse counters (tracked inputs arrive a few
+    per second) stay out of the detector — their windowed rates are
+    dominated by quantization noise — but are still extrapolated by the
+    macro model.
+    """
+
+    __slots__ = ("key", "read", "add", "detect")
+
+    def __init__(self, key: str, read: Callable[[], float],
+                 add: Callable[[float], None], detect: bool = True):
+        self.key = key
+        self.read = read
+        self.add = add
+        self.detect = detect
+
+
+def _attr_probe(key: str, obj: Any, name: str, detect: bool = True,
+                integral: bool = False) -> Probe:
+    """A probe over a plain ``obj.name`` numeric attribute."""
+    def read() -> float:
+        return float(getattr(obj, name))
+
+    if integral:
+        def add(amount: float) -> None:
+            setattr(obj, name, getattr(obj, name) + int(round(amount)))
+    else:
+        def add(amount: float) -> None:
+            setattr(obj, name, getattr(obj, name) + amount)
+
+    return Probe(key, read, add, detect)
+
+
+def build_probes(host: Any) -> list[Probe]:
+    """Every measurement counter of ``host`` that a macro jump must credit.
+
+    Horizon-normalized rate metrics (FPS, utilizations, Mbps, GB/s) are
+    counter / elapsed downstream, so crediting the counters keeps them
+    correct across the jump.  Sample-statistic metrics (RTT, stage
+    breakdowns, miss rates, PMU fractions) need nothing: the micro
+    windows are their representative sample.
+    """
+    probes: list[Probe] = []
+    machine = host.machine
+
+    probes.append(Probe("machine.cpu.core_seconds",
+                        machine.cpu.demand_core_seconds,
+                        machine.cpu.record_synthetic_demand))
+    probes.append(Probe("machine.gpu.busy_seconds",
+                        machine.gpu.busy_seconds,
+                        machine.gpu.record_synthetic_busy))
+    for direction in machine.pcie.VALID_DIRECTIONS:
+        probes.append(Probe(
+            f"machine.pcie.{direction}",
+            lambda d=direction: machine.pcie.bytes_by_direction[d],
+            lambda amount, d=direction: machine.pcie.bytes_by_direction
+            .__setitem__(d, machine.pcie.bytes_by_direction[d] + amount)))
+
+    for thread in machine.cpu.threads:
+        prefix = f"thread.{thread.name}"
+        probes.append(_attr_probe(f"{prefix}.core_seconds", thread,
+                                  "core_seconds"))
+        probes.append(_attr_probe(f"{prefix}.busy_time", thread,
+                                  "busy_time"))
+        for component in ("retiring", "frontend_bound", "backend_bound",
+                          "bad_speculation"):
+            probes.append(_attr_probe(f"{prefix}.cycles.{component}",
+                                      thread.cycles, component,
+                                      detect=False))
+
+    for session in host.sessions:
+        prefix = f"session.{session.name}"
+        probes.append(Probe(f"{prefix}.server_frames",
+                            lambda s=session: float(s.server_fps.frame_count),
+                            lambda amount, s=session:
+                            s.server_fps.record_synthetic(amount)))
+        probes.append(Probe(f"{prefix}.client_frames",
+                            lambda s=session: float(s.client_fps.frame_count),
+                            lambda amount, s=session:
+                            s.client_fps.record_synthetic(amount)))
+        probes.append(_attr_probe(f"{prefix}.frames_produced", session,
+                                  "frames_produced", integral=True))
+        probes.append(_attr_probe(f"{prefix}.pcie_to_gpu_bytes", session,
+                                  "pcie_to_gpu_bytes"))
+        probes.append(_attr_probe(f"{prefix}.pcie_from_gpu_bytes", session,
+                                  "pcie_from_gpu_bytes"))
+        probes.append(_attr_probe(f"{prefix}.gpu_busy_time",
+                                  session.render_context, "gpu_busy_time"))
+        link = session.link
+        for direction in (link.UPLINK, link.DOWNLINK):
+            # The downlink carries the dense frame stream; the uplink is
+            # sparse bursty input traffic (a few packets per second), so
+            # like the input counters it is credited but never consulted
+            # for steadiness — its windowed rate never settles.
+            probes.append(Probe(
+                f"{prefix}.link.{direction}",
+                lambda lk=link, d=direction: lk.bytes_moved(d),
+                lambda amount, lk=link, d=direction:
+                lk.record_synthetic_bytes(d, amount),
+                detect=direction == link.DOWNLINK))
+        tracker = session.tracker
+        probes.append(Probe(f"{prefix}.inputs_tracked",
+                            lambda t=tracker: float(t.tracked_inputs),
+                            lambda amount, t=tracker:
+                            t.record_synthetic(int(round(amount)), 0),
+                            detect=False))
+        probes.append(Probe(f"{prefix}.inputs_completed",
+                            lambda t=tracker: float(t.completed_inputs),
+                            lambda amount, t=tracker:
+                            t.record_synthetic(0, int(round(amount))),
+                            detect=False))
+    return probes
+
+
+@dataclass
+class FastForwardSummary:
+    """What one fast-forwarded measurement interval actually did."""
+
+    duration: float
+    micro_seconds: float
+    macro_seconds: float
+    jumps: list[tuple[float, float]]  # (micro time of jump, virtual delta)
+    model: Optional[MacroModel]
+
+    @property
+    def jump_count(self) -> int:
+        return len(self.jumps)
+
+
+def run_fast_forward(host: Any, measure_start: float, duration: float,
+                     config: FastForwardConfig) -> FastForwardSummary:
+    """Cover ``duration`` virtual seconds with micro windows + macro jumps.
+
+    Called by :meth:`repro.server.host.CloudHost.run` in place of the
+    single ``env.run`` over the measurement interval.  The kernel runs in
+    ``config.window_s`` micro windows; once the windowed rates are steady
+    the remaining interval (minus the exit window) is credited in one
+    :meth:`Environment.macro_advance` jump, and micro simulation resumes
+    to finish on exact dynamics.  Transitions re-enter micro mode
+    automatically: every jump resets the detector, so steadiness must be
+    re-established before another jump.
+    """
+    env = host.env
+    probes = build_probes(host)
+    detector = SteadyStateDetector(config.min_steady_windows,
+                                   config.tolerance)
+    history: deque[dict[str, float]] = deque(maxlen=config.min_steady_windows)
+    previous = {probe.key: probe.read() for probe in probes}
+    covered = 0.0
+    micro = 0.0
+    jumps: list[tuple[float, float]] = []
+    model: Optional[MacroModel] = None
+    meter = host.machine.power_meter
+
+    while duration - covered > 1e-9:
+        window = min(config.window_s, duration - covered)
+        env.run(until=env.now + window)
+        covered += window
+        micro += window
+        values = {probe.key: probe.read() for probe in probes}
+        if window == config.window_s:
+            rates = {key: (values[key] - previous[key]) / window
+                     for key in values}
+            history.append(rates)
+            detector.observe({probe.key: rates[probe.key]
+                              for probe in probes if probe.detect})
+        previous = values
+
+        remaining = duration - covered
+        if detector.steady and remaining > config.exit_window_s + 1e-9:
+            # Average over the whole steady span, not the last window:
+            # windowed counts quantize, the span mean does not.
+            span_rates = {key: sum(window_rates.get(key, 0.0)
+                                   for window_rates in history) / len(history)
+                          for key in previous}
+            model = MacroModel.from_rates(span_rates)
+            delta = remaining - config.exit_window_s
+            for probe in probes:
+                amount = model.rate(probe.key) * delta
+                if amount:
+                    probe.add(amount)
+            # The power meter samples periodically; credit the samples
+            # the skipped interval would have produced at the macro
+            # steady-state power level.
+            interval = getattr(host.config, "power_sampling_interval", 1.0)
+            watts = meter.steady_power(
+                cpu_cores_busy=model.rate("machine.cpu.core_seconds"),
+                gpu_utilization=min(1.0,
+                                    model.rate("machine.gpu.busy_seconds")))
+            meter.record_synthetic(watts, delta / max(interval, 1e-9))
+            env.macro_advance(delta)
+            jumps.append((env.now, delta))
+            covered += delta
+            detector.reset()
+            history.clear()
+            previous = {probe.key: probe.read() for probe in probes}
+
+    return FastForwardSummary(duration=duration, micro_seconds=micro,
+                              macro_seconds=duration - micro, jumps=jumps,
+                              model=model)
