@@ -8,6 +8,7 @@ network bandwidth — from the OS and driver interfaces (Section 3.2).
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -16,7 +17,8 @@ import numpy as np
 from repro.hardware.machine import ServerMachine
 from repro.sim.engine import Environment
 
-__all__ = ["FpsCounter", "ResourceMonitor", "ResourceSample"]
+__all__ = ["EventRateMonitor", "FpsCounter", "ResourceMonitor",
+           "ResourceSample"]
 
 
 class FpsCounter:
@@ -76,14 +78,59 @@ class FpsCounter:
         """FPS over the most recent ``window`` seconds."""
         if window <= 0:
             raise ValueError("window must be positive")
+        # ``timestamps`` is appended in simulation-time order, so the
+        # window boundary is a bisect, not a scan-and-copy of the whole
+        # history (this gets called per sampling tick on runs recording
+        # hundreds of thousands of frames).
+        timestamps = self.timestamps
         cutoff = self.env.now - window
-        recent = [t for t in self.timestamps if t >= cutoff]
-        return len(recent) / window
+        return (len(timestamps) - bisect_left(timestamps, cutoff)) / window
 
     def interframe_times(self) -> list[float]:
         if len(self.timestamps) < 2:
             return []
         return list(np.diff(self.timestamps))
+
+
+class EventRateMonitor:
+    """Tallies processed kernel events by type, via the event bus.
+
+    A lightweight consumer of the kernel's observability seam: it
+    subscribes to ``env.bus`` alongside any trace recorder (subscribers
+    chain, they do not replace each other) and counts every dispatched
+    event, giving experiments a cheap "kernel pressure" signal — events
+    per simulated second, broken down by event type — without recording
+    a full trace.  Detach with :meth:`close`.
+    """
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self.counts: dict[str, int] = {}
+        self.total = 0
+        self._started_at = env.now
+        self._closed = False
+        # The bus matches subscribers by identity; bind the method once
+        # so close() hands back the exact object subscribe() saw.
+        self._subscription = self._observe
+        env.bus.subscribe(self._subscription)
+
+    def _observe(self, now: float, event) -> None:
+        self.total += 1
+        name = event.__class__.__name__
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def events_per_second(self) -> float:
+        """Mean dispatch rate since the monitor attached."""
+        elapsed = self.env.now - self._started_at
+        if elapsed <= 0:
+            return 0.0
+        return self.total / elapsed
+
+    def close(self) -> None:
+        """Detach from the bus (idempotent); counts stay readable."""
+        if not self._closed:
+            self._closed = True
+            self.env.bus.unsubscribe(self._subscription)
 
 
 @dataclass

@@ -183,6 +183,17 @@ class DirectoryQueue(WorkQueue):
         #: does not span hosts.
         self.results = ResultStore(self.root / "results", wal=False)
         self._sequence = self._next_sequence()
+        # Lease aging state for requeue_stale(): claim-file name ->
+        # (st_mtime_ns, base) where ``base`` is the _mono() instant the
+        # claim was last known fresh.  Ages are measured on the
+        # monotonic clock so a wall-clock jump (NTP step, DST, manual
+        # reset) can neither expire a healthy lease nor immortalize a
+        # dead one; the wall clock is consulted only once per claim, on
+        # first sighting, to credit age accrued before this sweeper
+        # started watching.  Patchable clocks for tests.
+        self._wall = time.time
+        self._mono = time.monotonic
+        self._lease_marks: dict[str, tuple[int, float]] = {}
 
     # -- filename helpers -------------------------------------------------------------
     @staticmethod
@@ -245,18 +256,40 @@ class DirectoryQueue(WorkQueue):
             return {"key": key, "error": "unreadable failure marker"}
 
     def requeue_stale(self, lease_s: float) -> list[str]:
-        now = time.time()
+        wall_now = self._wall()
+        mono_now = self._mono()
+        marks = self._lease_marks
+        seen: set[str] = set()
         requeued = []
         for path in sorted(self.claimed_dir.iterdir()):
-            if "@" not in path.name:
+            name = path.name
+            if "@" not in name:
                 continue
             try:
-                claimed_at = path.stat().st_mtime
+                stat = path.stat()
             except FileNotFoundError:
                 continue                         # completed under our feet
-            if now - claimed_at >= lease_s:
+            seen.add(name)
+            mark = marks.get(name)
+            if mark is None or stat.st_mtime_ns < mark[0]:
+                # First sighting (or the claim file was replaced since):
+                # trust the wall clock once for age accrued before we
+                # started watching, clamping future stamps to zero age.
+                base = mono_now - max(wall_now - stat.st_mtime, 0.0)
+            elif stat.st_mtime_ns > mark[0]:
+                base = mono_now                  # witnessed a heartbeat
+            else:
+                base = mark[1]                   # unchanged: keep aging
+            marks[name] = (stat.st_mtime_ns, base)
+            if mono_now - base >= lease_s:
                 if self._requeue(path):
-                    requeued.append(self._key_of(path.name))
+                    requeued.append(self._key_of(name))
+                    marks.pop(name, None)
+        # Forget claims that vanished (completed or requeued elsewhere);
+        # a recycled name must re-enter through the first-sighting path.
+        for name in list(marks):
+            if name not in seen:
+                del marks[name]
         return requeued
 
     def requeue_worker(self, worker_id: str) -> list[str]:

@@ -152,6 +152,12 @@ class CloudHost:
         Must be called before :meth:`run`; the recorder then captures the
         host's full processed-event sequence (the golden-trace subsystem
         uses this to prove kernel equivalence on real testbed runs).
+
+        The recorder subscribes to ``self.env.bus``, so it composes with
+        any other observer — attach several recorders, or mix one with an
+        :class:`~repro.core.monitors.EventRateMonitor`; each sees every
+        dispatched event in subscription order.  Detach an individual
+        recorder with its ``close()``; the others stay attached.
         """
         from repro.sim.trace import TraceRecorder
         return TraceRecorder(self.env)

@@ -265,7 +265,8 @@ class RenderingSession:
             frame = self.app.advance(dt)
             self.frames_produced += 1
             self._server_fps.record_frame()
-            self.frame_tags[frame.frame_id] = tags
+            if tags:      # untagged frames must not leak dict entries
+                self.frame_tags[frame.frame_id] = tags
             if self.measurement_enabled:
                 self.tracker.record_stage_for_tags(tags, Stage.AL, al_duration)
 
@@ -386,7 +387,8 @@ class RenderingSession:
             frame = self.app.advance(dt)
             self.frames_produced += 1
             self._server_fps.record_frame()
-            self.frame_tags[frame.frame_id] = tags
+            if tags:      # untagged frames must not leak dict entries
+                self.frame_tags[frame.frame_id] = tags
 
             upload_bytes = self.app.sample_upload_bytes()
             yield from self.gl.upload(upload_bytes)

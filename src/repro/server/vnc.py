@@ -186,10 +186,12 @@ class VncServer:
         Section-6 optimizations raise the server FPS)."""
         while len(queue) > 0:
             newer = queue.items.popleft()
-            merged = self.frame_tags.setdefault(newer.frame_id, [])
-            for tag in self.frame_tags.get(frame.frame_id, ()):  # carry tags forward
-                if tag not in merged:
-                    merged.append(tag)
+            carried = self.frame_tags.pop(frame.frame_id, None)
+            if carried:                          # carry tags forward
+                merged = self.frame_tags.setdefault(newer.frame_id, [])
+                for tag in carried:
+                    if tag not in merged:
+                        merged.append(tag)
             self.frames_spoiled += 1
             frame = newer
         return frame
@@ -199,7 +201,10 @@ class VncServer:
         while True:
             frame: Frame = yield self.frame_inbox.get()
             frame = self._coalesce(frame, self.frame_inbox)
-            tags = list(self.frame_tags.get(frame.frame_id, ()))
+            # The frame leaves the server here: popping (not reading) its
+            # tag entry keeps the dict bounded by frames in flight instead
+            # of growing for the whole run.
+            tags = self.frame_tags.pop(frame.frame_id, None) or []
 
             # Hook8: extract the embedded tag and restore the original pixels.
             embedded_tag = frame.extract_tag()

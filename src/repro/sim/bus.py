@@ -1,0 +1,109 @@
+"""The kernel's observability seam: a compiled subscriber bus.
+
+Every event the kernel dispatches — and every fast-forward
+:class:`~repro.sim.engine.MacroJump` — is published as ``(now, event)``
+to the environment's :class:`EventBus`.  Trace recording
+(:mod:`repro.sim.trace`), measurement hooks and live dashboards all
+observe the kernel through this one seam instead of competing for a
+single ad-hoc tracer slot.
+
+The bus is *compiled*: every subscription change recomputes the
+environment's internal publish hook to the cheapest shape for the
+current subscriber count —
+
+* no subscribers → ``None`` (the run loop's per-event cost is a single
+  ``is None`` test on a hoisted local: zero-cost when unobserved);
+* one subscriber → the subscriber callable itself, called directly with
+  no fan-out frame in between;
+* several subscribers → one closure over an immutable tuple that calls
+  each subscriber in subscription order.
+
+Contract: subscribe *before* the ``run()`` call whose events you want
+to observe — the run loop hoists the publish hook once on entry, like
+every other queue alias.  Subscribers are compared by identity; adding
+the same callable twice raises :class:`~repro.sim.engine.SimulationError`
+(attach two distinct callables if you really want double delivery), and
+so does removing a callable that is not subscribed.  Subscribers must
+not raise: an exception escaping a subscriber propagates out of the run
+loop like any kernel error.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.sim.engine import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.sim.engine import Environment, Event
+
+__all__ = ["EventBus", "Subscriber"]
+
+Subscriber = Callable[[float, "Event"], None]
+
+
+class EventBus:
+    """Ordered subscriber list publishing every processed kernel event.
+
+    Obtained via :attr:`Environment.bus <repro.sim.engine.Environment.bus>`;
+    not constructed directly by user code.
+    """
+
+    __slots__ = ("_env", "_subscribers")
+
+    def __init__(self, env: Environment) -> None:
+        self._env = env
+        self._subscribers: list[Subscriber] = []
+
+    def subscribe(self, subscriber: Subscriber) -> Subscriber:
+        """Add ``subscriber``; it will see every subsequently run event.
+
+        Returns the subscriber (handy for ``hook = bus.subscribe(fn)``).
+        Raises :class:`SimulationError` if this exact callable is already
+        subscribed — silently keeping only one copy is how the old
+        single-slot tracer lost trace events.
+        """
+        if not callable(subscriber):
+            raise SimulationError(f"bus subscriber must be callable, got {subscriber!r}")
+        for existing in self._subscribers:
+            if existing is subscriber:
+                raise SimulationError(f"{subscriber!r} is already subscribed to this bus")
+        self._subscribers.append(subscriber)
+        self._compile()
+        return subscriber
+
+    def unsubscribe(self, subscriber: Subscriber) -> None:
+        """Remove exactly ``subscriber``; other subscriptions are untouched."""
+        subscribers = self._subscribers
+        for index, existing in enumerate(subscribers):
+            if existing is subscriber:
+                del subscribers[index]
+                self._compile()
+                return
+        raise SimulationError(f"{subscriber!r} is not subscribed to this bus")
+
+    @property
+    def subscribers(self) -> tuple[Subscriber, ...]:
+        """The current subscribers, in delivery order."""
+        return tuple(self._subscribers)
+
+    def __len__(self) -> int:
+        return len(self._subscribers)
+
+    def __contains__(self, subscriber: object) -> bool:
+        return any(existing is subscriber for existing in self._subscribers)
+
+    def _compile(self) -> None:
+        subscribers = self._subscribers
+        if not subscribers:
+            self._env._publish = None
+        elif len(subscribers) == 1:
+            self._env._publish = subscribers[0]
+        else:
+            fanout = tuple(subscribers)
+
+            def publish(now: float, event: Event, _fanout=fanout) -> None:
+                for subscriber in _fanout:
+                    subscriber(now, event)
+
+            self._env._publish = publish

@@ -22,6 +22,13 @@ of SimPy.  It provides:
 ``AllOf`` / ``AnyOf``
     Composite events over several child events.
 
+Observability goes through one seam: :attr:`Environment.bus`, an
+:class:`~repro.sim.bus.EventBus` whose subscribers see every processed
+``(now, event)`` pair (and every fast-forward
+:class:`MacroJump`).  The bus compiles down to a single hook slot the
+run loop reads, so an unobserved kernel pays one ``is None`` test per
+event and nothing else.
+
 The engine is deliberately strict: scheduling into the past, running a
 non-generator as a process, or yielding a non-event raise
 ``SimulationError`` immediately rather than silently corrupting the run.
@@ -35,25 +42,53 @@ keeping the *observable* event order bit-identical to the reference
 semantics — every pending event still fires in ``(time, priority,
 sequence-id)`` order, with sequence ids advancing exactly as through
 :meth:`Environment._schedule`.  The golden traces in ``tests/golden/``
-pin this down against the pre-rewrite kernel.  The tricks:
+pin this down against the pre-rewrite kernel, on both heap
+implementations.  The tricks:
 
 * every event class declares ``__slots__``;
 * heap entries are flat ``(time, key, event)`` triples where ``key``
   packs ``(priority, sequence-id)`` into one integer, so tie-breaking
   never falls through to an extra tuple element;
 * zero-delay events bypass the heap entirely: they are appended to
-  plain FIFO deques (``Environment._fifo`` / ``_urgent``), turning the
-  dominant schedule-now case from O(log n) into O(1);
+  plain FIFO deques (``Environment._fifo`` / ``_urgent``) carrying
+  their packed key in the ``_key`` slot instead of a per-entry tuple,
+  turning the dominant schedule-now case from O(log n) + allocation
+  into a single O(1) append;
 * ``callbacks`` avoids list allocation: a fresh event carries a shared
   empty tuple, a single waiter is stored directly (processes are
   callable), and only a second waiter materializes a list
   (``callbacks is None`` still means "processed");
 * a waiting process registers *itself* as the callback (it is callable)
   rather than materializing a ``_resume`` bound method per wait;
+* ``_defused`` is lazily initialized: the dispatch loop only reads it
+  for *failed* events, so hot factories skip the slot write and every
+  path that can produce ``_ok = False`` guarantees the slot is set
+  (``fail()`` and ``Interruption`` write it; process crashes rely on
+  ``Process.__init__``);
+* a yielded object is validated by reading its ``callbacks`` attribute
+  under ``try/except AttributeError`` instead of an ``isinstance``
+  check — free for the overwhelmingly common valid yield;
 * ``Timeout`` construction, ``succeed``/``fail`` and process
   termination inline the scheduling push, and
   :meth:`Environment.run` inlines both the pop/dispatch loop and the
-  resume step of a single waiting process.
+  resume step of a single waiting process;
+* the run loop *batches* same-timestamp work: once the heap cannot
+  interfere at the current instant, the zero-delay FIFO is drained in a
+  tight inner loop that re-checks only what dispatch can actually
+  change (an urgent arrival, the stop event firing) instead of
+  re-deriving the full pop order per event.  The factories keep the
+  heap out of the current instant by construction: positive delays too
+  small for the clock to represent are routed to the deques (same
+  ``(time, priority, id)`` order), and the one remaining way to put a
+  heap entry at ``now`` — a zero-delay schedule at priority >= 2 —
+  sorts after all current-instant normal work regardless.
+
+The optimized loop serves the default tuple heap.
+``Environment(heap="array")`` selects the parallel-array heap
+(:class:`~repro.sim.heaps.ArrayHeap` — the layout a native accelerator
+would target) and runs through :meth:`Environment._run_reference`, a
+direct transcription of the pop/dispatch semantics that both loops must
+preserve.
 """
 
 from __future__ import annotations
@@ -104,11 +139,18 @@ _PENDING = object()
 # "processed".
 _NO_CALLBACKS: tuple = ()
 
-# Heap/deque keys pack (priority, sequence-id) into a single integer:
+# Heap keys pack (priority, sequence-id) into a single integer:
 # ``(priority << _KEY_SHIFT) + eid``.  Urgent events (priority 0) sort
 # before normal ones at the same timestamp, and within a priority FIFO
 # order follows the monotonically increasing id — exactly the ordering
 # of the reference ``(time, priority, eid, event)`` heap tuples.
+#
+# Deque entries store the *bare* sequence id in ``_key``; the compare
+# sites reconstruct the full packed key on demand (``_NORMAL_KEY +
+# _key`` for the normal FIFO, the bare id for the urgent deque).  The
+# reconstruction only happens when the heap could actually interfere at
+# the current instant, so the dominant zero-delay path never pays the
+# big-integer add (or its allocation).
 _KEY_SHIFT = 53
 _NORMAL_KEY = 1 << _KEY_SHIFT
 
@@ -122,10 +164,13 @@ class Event:
 
     ``callbacks`` is the shared empty tuple until a waiter attaches, a
     single callable while one waiter is attached, a list once several
-    are, and ``None`` once processed.
+    are, and ``None`` once processed.  ``_key`` holds the event's
+    sequence id while the event sits in a zero-delay deque (events are
+    one-shot, so the slot is written at most once); the deque identity
+    supplies the priority half of the packed scheduling key.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused", "_key")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -165,7 +210,8 @@ class Event:
         self._value = value
         env = self.env
         env._eid = eid = env._eid + 1
-        env._fifo.append((_NORMAL_KEY + eid, self))
+        self._key = eid
+        env._fifo.append(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -180,10 +226,14 @@ class Event:
         if self._value is not _PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = False
+        # Hot factories skip the _defused init; every failure path must
+        # write it before the dispatch loop can read it.
+        self._defused = False
         self._value = exception
         env = self.env
         env._eid = eid = env._eid + 1
-        env._fifo.append((_NORMAL_KEY + eid, self))
+        self._key = eid
+        env._fifo.append(self)
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -248,20 +298,36 @@ class Timeout(Event):
         self._value = value
         self.delay = delay = float(delay)
         env._eid = eid = env._eid + 1
-        if delay:
-            heappush(env._queue, (env._now + delay, _NORMAL_KEY + eid, self))
+        now = env._now
+        when = now + delay
+        if when > now:
+            queue = env._queue
+            if queue.__class__ is list:
+                heappush(queue, (when, _NORMAL_KEY + eid, self))
+            else:
+                queue.push(when, _NORMAL_KEY + eid, self)
         else:
-            env._fifo.append((_NORMAL_KEY + eid, self))
+            # Zero delay — or one too small for the clock to represent
+            # the advance; either way the event fires at the current
+            # instant in id order, which is exactly the FIFO's order.
+            self._key = eid
+            env._fifo.append(self)
+
+
+# Pre-bound allocators for the hot factories below (skips one
+# class-attribute lookup per created event).
+_EVENT_NEW = Event.__new__
+_TIMEOUT_NEW = Timeout.__new__
 
 
 class MacroJump(Event):
     """Trace marker for one coarse fast-forward advance (macro step).
 
-    Emitted by :meth:`Environment.macro_advance` straight to the tracer —
-    never enqueued, so it consumes no sequence id and cannot perturb the
-    micro event order.  Its value is the virtual seconds skipped; the
-    micro clock (``env.now``) is unchanged, so trace timestamps stay
-    monotone by construction.
+    Emitted by :meth:`Environment.macro_advance` straight to the event
+    bus — never enqueued, so it consumes no sequence id and cannot
+    perturb the micro event order.  Its value is the virtual seconds
+    skipped; the micro clock (``env.now``) is unchanged, so trace
+    timestamps stay monotone by construction.
     """
 
     __slots__ = ("delta",)
@@ -288,7 +354,8 @@ class Initialize(Event):
         self._defused = False
         self.process = process
         env._eid = eid = env._eid + 1
-        env._urgent.append((eid, self))
+        self._key = eid
+        env._urgent.append(self)
 
 
 class Process(Event):
@@ -311,6 +378,8 @@ class Process(Event):
         self.callbacks = _NO_CALLBACKS
         self._value = _PENDING
         self._ok = None
+        # Written here (not at the crash site) so a crashing process can
+        # be dispatched through the failed-event check.
         self._defused = False
         self._generator = generator
         self._send = generator.send
@@ -354,40 +423,46 @@ class Process(Event):
             except StopIteration as stop:
                 self._ok = True
                 self._value = stop.value
+                self._target = None
                 env._eid = eid = env._eid + 1
-                env._fifo.append((_NORMAL_KEY + eid, self))
+                self._key = eid
+                env._fifo.append(self)
                 break
             except BaseException as exc:
                 self._ok = False
                 self._value = exc
+                self._target = None
                 env._eid = eid = env._eid + 1
-                env._fifo.append((_NORMAL_KEY + eid, self))
+                self._key = eid
+                env._fifo.append(self)
                 break
 
-            if isinstance(next_event, Event):
+            # A valid yield is an object with a ``callbacks`` slot (an
+            # Event); anything else is a structural error delivered as a
+            # failed event thrown into the generator.
+            try:
                 callbacks = next_event.callbacks
-                if callbacks is not None:
-                    # Event still pending or scheduled: wait for it.
-                    if callbacks.__class__ is tuple:
-                        next_event.callbacks = self
-                    elif callbacks.__class__ is list:
-                        callbacks.append(self)
-                    else:
-                        next_event.callbacks = [callbacks, self]
-                    self._target = next_event
-                    break
-                # Event already processed: loop immediately with its value.
-                event = next_event
-            else:
+            except AttributeError:
                 exc = SimulationError(
                     f"process yielded a non-event: {next_event!r}"
                 )
                 event = Event(env)
                 event._ok = False
                 event._value = exc
+                continue
+            if callbacks is not None:
+                # Event still pending or scheduled: wait for it.
+                if callbacks.__class__ is tuple:
+                    next_event.callbacks = self
+                elif callbacks.__class__ is list:
+                    callbacks.append(self)
+                else:
+                    next_event.callbacks = [callbacks, self]
+                self._target = next_event
+                break
+            # Event already processed: loop immediately with its value.
+            event = next_event
 
-        if self._value is not _PENDING:
-            self._target = None
         env._active_process = None
 
     # A process doubles as its own resume callback, so waiting appends
@@ -409,7 +484,8 @@ class Interruption(Event):
         self._defused = True
         self.process = process
         env._eid = eid = env._eid + 1
-        env._urgent.append((eid, self))
+        self._key = eid
+        env._urgent.append(self)
 
     def _deliver(self, event: Event) -> None:
         process = self.process
@@ -497,12 +573,14 @@ class Environment:
     ``(time, priority, sequence-id)`` exactly as a single heap of
     ``(time, priority, eid, event)`` tuples would be:
 
-    * ``_queue`` — a heap of ``(time, key, event)`` for events scheduled
-      with a positive delay;
-    * ``_urgent`` / ``_fifo`` — deques of ``(key, event)`` for urgent /
-      normal events scheduled at the *current* time (zero delay).  Ids
-      increase monotonically, so each deque is already sorted and a
-      zero-delay event costs O(1) instead of O(log n).
+    * ``_queue`` — events scheduled with a positive delay, as either a
+      plain ``heapq`` list of ``(time, key, event)`` tuples (the
+      default) or an :class:`~repro.sim.heaps.ArrayHeap`
+      (``heap="array"``);
+    * ``_urgent`` / ``_fifo`` — deques of events scheduled at the
+      *current* time (zero delay), each carrying its packed key in
+      ``_key``.  Ids increase monotonically, so each deque is already
+      sorted and a zero-delay event costs O(1) instead of O(log n).
 
     Invariants the pop order relies on: nothing can be scheduled into
     the past, and the clock only advances when both deques are empty —
@@ -512,22 +590,32 @@ class Environment:
     """
 
     __slots__ = ("_now", "_queue", "_fifo", "_urgent", "_eid", "_pid",
-                 "_active_process", "_tracer", "_virtual_offset")
+                 "_active_process", "_publish", "_bus", "_virtual_offset")
 
     PRIORITY_URGENT = 0
     PRIORITY_NORMAL = 1
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0, heap: str = "tuple"):
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, Event]] = []
-        self._fifo: deque[tuple[int, Event]] = deque()
-        self._urgent: deque[tuple[int, Event]] = deque()
+        if heap == "tuple":
+            self._queue: Any = []
+        elif heap == "array":
+            from repro.sim.heaps import ArrayHeap
+            self._queue = ArrayHeap()
+        else:
+            raise SimulationError(
+                f"unknown heap implementation {heap!r}; expected 'tuple' or 'array'")
+        self._fifo: deque[Event] = deque()
+        self._urgent: deque[Event] = deque()
         self._eid = 0
         self._pid = 0
         self._active_process: Optional[Process] = None
-        # Optional ``tracer(now, event)`` hook observed by step()/run();
-        # install it (see repro.sim.trace.TraceRecorder) *before* running.
-        self._tracer: Optional[Callable[[float, Event], None]] = None
+        # The compiled publish hook of the event bus: None while nobody
+        # subscribes, otherwise a ``hook(now, event)`` callable.  Managed
+        # exclusively by EventBus._compile(); the run loop hoists it once
+        # on entry, so subscribe *before* the run you want to observe.
+        self._publish: Optional[Callable[[float, Event], None]] = None
+        self._bus = None
         # Virtual seconds credited by macro_advance(); the micro clock
         # (_now) never jumps, so in-flight process-local timestamps can
         # never straddle a discontinuity.
@@ -538,6 +626,20 @@ class Environment:
     def now(self) -> float:
         """Current simulation time (seconds by convention in this repo)."""
         return self._now
+
+    @property
+    def heap_kind(self) -> str:
+        """Which heap implementation this environment was built with."""
+        return "tuple" if self._queue.__class__ is list else "array"
+
+    @property
+    def bus(self):
+        """The environment's :class:`~repro.sim.bus.EventBus` (created lazily)."""
+        bus = self._bus
+        if bus is None:
+            from repro.sim.bus import EventBus
+            self._bus = bus = EventBus(self)
+        return bus
 
     @property
     def virtual_offset(self) -> float:
@@ -561,17 +663,17 @@ class Environment:
         after synthesizing the measurement counters the skipped interval
         would have accumulated.  The micro clock and event queues are
         untouched — the jump is a pure accounting overlay — but the jump
-        is made observable: a :class:`MacroJump` event is handed to the
-        tracer (if one is attached) at the current micro time.
+        is made observable: a :class:`MacroJump` event is published on
+        the event bus at the current micro time.
         """
         if not delta > 0:
             raise SimulationError(f"macro_advance delta must be positive, "
                                   f"got {delta!r}")
         self._virtual_offset += float(delta)
         jump = MacroJump(self, delta)
-        tracer = self._tracer
-        if tracer is not None:
-            tracer(self._now, jump)
+        publish = self._publish
+        if publish is not None:
+            publish(self._now, jump)
         return jump
 
     @property
@@ -580,30 +682,36 @@ class Environment:
 
     # -- event factories ----------------------------------------------------
     def event(self) -> Event:
-        event = Event.__new__(Event)
+        event = _EVENT_NEW(Event)
         event.env = self
         event.callbacks = _NO_CALLBACKS
         event._value = _PENDING
         event._ok = None
-        event._defused = False
         return event
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay!r}")
-        timeout = Timeout.__new__(Timeout)
+        timeout = _TIMEOUT_NEW(Timeout)
         timeout.env = self
         timeout.callbacks = _NO_CALLBACKS
         timeout._ok = True
         timeout._value = value
-        if delay.__class__ is not float:
-            delay = float(delay)
-        timeout.delay = delay
+        timeout.delay = delay = delay if delay.__class__ is float else float(delay)
         self._eid = eid = self._eid + 1
-        if delay:
-            heappush(self._queue, (self._now + delay, _NORMAL_KEY + eid, timeout))
+        now = self._now
+        when = now + delay
+        if when > now:
+            queue = self._queue
+            if queue.__class__ is list:
+                heappush(queue, (when, _NORMAL_KEY + eid, timeout))
+            else:
+                queue.push(when, _NORMAL_KEY + eid, timeout)
         else:
-            self._fifo.append((_NORMAL_KEY + eid, timeout))
+            # Zero delay, or one the clock cannot represent: fires at the
+            # current instant in id order — the FIFO's order.
+            timeout._key = eid
+            self._fifo.append(timeout)
         return timeout
 
     def process(self, generator: Generator) -> Process:
@@ -621,18 +729,30 @@ class Environment:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
         self._eid = eid = self._eid + 1
-        if delay:
-            heappush(self._queue,
-                     (self._now + delay, (priority << _KEY_SHIFT) + eid, event))
+        now = self._now
+        when = now + delay
+        if when > now:
+            queue = self._queue
+            if queue.__class__ is list:
+                heappush(queue, (when, (priority << _KEY_SHIFT) + eid, event))
+            else:
+                queue.push(when, (priority << _KEY_SHIFT) + eid, event)
         elif priority == 1:
-            self._fifo.append((_NORMAL_KEY + eid, event))
+            event._key = eid
+            self._fifo.append(event)
         elif priority == 0:
-            self._urgent.append((eid, event))
+            event._key = eid
+            self._urgent.append(event)
         else:
             # Unusual priorities take the heap at the current time; the
             # packed key keeps them ordered after urgent/normal peers.
-            heappush(self._queue,
-                     (self._now, (priority << _KEY_SHIFT) + eid, event))
+            # (This is the only way the heap ever holds an entry at the
+            # current instant — the batched drain in run() relies on it.)
+            queue = self._queue
+            if queue.__class__ is list:
+                heappush(queue, (now, (priority << _KEY_SHIFT) + eid, event))
+            else:
+                queue.push(now, (priority << _KEY_SHIFT) + eid, event)
 
     def _pop_next(self) -> Event:
         """Remove and return the next event in (time, priority, id) order.
@@ -641,36 +761,59 @@ class Environment:
         time.  Callers must ensure at least one event is pending.
         """
         queue = self._queue
+        if queue.__class__ is not list:
+            return self._pop_next_array()
         now = self._now
         urgent = self._urgent
         if urgent:
-            if queue and queue[0][0] <= now and queue[0][1] < urgent[0][0]:
+            if queue and queue[0][0] <= now and queue[0][1] < urgent[0]._key:
                 return heappop(queue)[2]
-            return urgent.popleft()[1]
+            return urgent.popleft()
         fifo = self._fifo
         if fifo:
-            if queue and queue[0][0] <= now and queue[0][1] < fifo[0][0]:
+            if (queue and queue[0][0] <= now
+                    and queue[0][1] < _NORMAL_KEY + fifo[0]._key):
                 return heappop(queue)[2]
-            return fifo.popleft()[1]
+            return fifo.popleft()
         when, _key, event = heappop(queue)
         self._now = when
         return event
+
+    def _pop_next_array(self) -> Event:
+        """:meth:`_pop_next` against the :class:`ArrayHeap` layout."""
+        queue = self._queue
+        now = self._now
+        urgent = self._urgent
+        if urgent:
+            if queue and queue.peek_when() <= now and queue.peek_key() < urgent[0]._key:
+                return queue.pop()
+            return urgent.popleft()
+        fifo = self._fifo
+        if fifo:
+            if (queue and queue.peek_when() <= now
+                    and queue.peek_key() < _NORMAL_KEY + fifo[0]._key):
+                return queue.pop()
+            return fifo.popleft()
+        self._now = queue.peek_when()
+        return queue.pop()
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if nothing is pending."""
         if self._urgent or self._fifo:
             return self._now
         queue = self._queue
-        return queue[0][0] if queue else inf
+        if not queue:
+            return inf
+        return queue[0][0] if queue.__class__ is list else queue.peek_when()
 
     def step(self) -> None:
         """Process the next scheduled event."""
         if not (self._urgent or self._fifo or self._queue):
             raise SimulationError("nothing left to simulate")
         event = self._pop_next()
-        tracer = self._tracer
-        if tracer is not None:
-            tracer(self._now, event)
+        publish = self._publish
+        if publish is not None:
+            publish(self._now, event)
         callbacks = event.callbacks
         event.callbacks = None
         if callbacks is not None:
@@ -701,41 +844,142 @@ class Environment:
                     f"until={stop_time!r} is in the past (now={self._now!r})"
                 )
 
+        if self._queue.__class__ is not list:
+            return self._run_reference(stop_event, stop_time, horizon)
+
         # This loop is the single hottest code path of the repository, so
         # it inlines step()/_pop_next() and — for the dominant case of an
         # event with exactly one waiting process — Process._resume().
         # The inlined resume must stay semantically identical to
-        # Process._resume; the golden traces pin the observable order.
+        # Process._resume, and the batched FIFO drain below must stay
+        # observably identical to this generic pop order; the golden
+        # traces pin both down.
         queue = self._queue
         fifo = self._fifo
         urgent = self._urgent
-        tracer = self._tracer
+        publish = self._publish
         pop = heappop
+        fifo_pop = fifo.popleft
+        fifo_append = fifo.append
         now = self._now
+        check_stop = stop_event is not None
 
         while True:
-            if stop_event is not None and stop_event.callbacks is None:
+            if check_stop and stop_event.callbacks is None:
                 if not stop_event._ok:
                     raise stop_event._value
                 return stop_event._value
 
             # -- pop the next event in (time, priority, id) order ---------
             if urgent:
-                if queue and queue[0][0] <= now and queue[0][1] < urgent[0][0]:
+                if queue and queue[0][0] <= now and queue[0][1] < urgent[0]._key:
                     event = pop(queue)[2]
                 else:
-                    event = urgent.popleft()[1]
+                    event = urgent.popleft()
             elif fifo:
-                if queue and queue[0][0] <= now and queue[0][1] < fifo[0][0]:
-                    event = pop(queue)[2]
+                if queue and queue[0][0] <= now:
+                    if queue[0][1] < _NORMAL_KEY + fifo[0]._key:
+                        event = pop(queue)[2]
+                    else:
+                        event = fifo_pop()
                 else:
-                    event = fifo.popleft()[1]
+                    # -- batched drain of the zero-delay FIFO -------------
+                    # Nothing on the heap can fire at this instant, and
+                    # nothing dispatch does can change that: positive
+                    # delays land strictly in the future (sub-resolution
+                    # delays are routed to the deques by the factories
+                    # and _schedule), and a zero-delay schedule with an
+                    # exotic priority >= 2 — the one way the heap gains a
+                    # current-instant entry — sorts after every normal
+                    # event at this instant anyway.  Only an urgent
+                    # arrival or the stop event firing ends the drain
+                    # early, so only those are re-checked per event.
+                    while True:
+                        event = fifo_pop()
+                        if publish is not None:
+                            publish(now, event)
+                        process = event.callbacks
+                        event.callbacks = None
+                        if process is not None:
+                            if process.__class__ is Process:
+                                # Inlined Process._resume(event); identical
+                                # to the copy in the generic path below.
+                                self._active_process = process
+                                send = process._send
+                                resumed = event
+                                while True:
+                                    try:
+                                        if resumed._ok:
+                                            next_event = send(resumed._value)
+                                        else:
+                                            resumed._defused = True
+                                            next_event = process._generator.throw(
+                                                resumed._value)
+                                    except StopIteration as stop:
+                                        process._ok = True
+                                        process._value = stop.value
+                                        process._target = None
+                                        self._eid = eid = self._eid + 1
+                                        process._key = eid
+                                        fifo_append(process)
+                                        break
+                                    except BaseException as exc:
+                                        process._ok = False
+                                        process._value = exc
+                                        process._target = None
+                                        self._eid = eid = self._eid + 1
+                                        process._key = eid
+                                        fifo_append(process)
+                                        break
+
+                                    try:
+                                        cbs = next_event.callbacks
+                                    except AttributeError:
+                                        exc = SimulationError(
+                                            f"process yielded a non-event: "
+                                            f"{next_event!r}")
+                                        resumed = Event(self)
+                                        resumed._ok = False
+                                        resumed._value = exc
+                                        continue
+                                    if cbs is not None:
+                                        if cbs.__class__ is tuple:
+                                            next_event.callbacks = process
+                                        elif cbs.__class__ is list:
+                                            cbs.append(process)
+                                        else:
+                                            next_event.callbacks = [cbs, process]
+                                        process._target = next_event
+                                        break
+                                    resumed = next_event
+
+                                self._active_process = None
+                            else:
+                                cls = process.__class__
+                                if cls is list:
+                                    for callback in process:
+                                        callback(event)
+                                elif cls is not tuple:
+                                    process(event)
+                        if not event._ok and not event._defused:
+                            raise event._value
+
+                        if not fifo or urgent:
+                            break
+                        if check_stop and stop_event.callbacks is None:
+                            break
+                    continue
             elif queue:
-                when = queue[0][0]
+                entry = pop(queue)
+                when = entry[0]
                 if when > horizon:
+                    # Cold: ends the run.  Restoring the entry may change
+                    # the heap's internal arrangement but not its pop
+                    # order — keys are unique, so (time, key) is total.
+                    heappush(queue, entry)
                     self._now = stop_time
                     return None
-                event = pop(queue)[2]
+                event = entry[2]
                 self._now = now = when
             else:
                 if stop_event is not None:
@@ -745,8 +989,8 @@ class Environment:
                     self._now = stop_time
                 return None
 
-            if tracer is not None:
-                tracer(now, event)
+            if publish is not None:
+                publish(now, event)
 
             # -- dispatch -------------------------------------------------
             process = event.callbacks
@@ -769,38 +1013,41 @@ class Environment:
                         except StopIteration as stop:
                             process._ok = True
                             process._value = stop.value
+                            process._target = None
                             self._eid = eid = self._eid + 1
-                            fifo.append((_NORMAL_KEY + eid, process))
+                            process._key = eid
+                            fifo_append(process)
                             break
                         except BaseException as exc:
                             process._ok = False
                             process._value = exc
+                            process._target = None
                             self._eid = eid = self._eid + 1
-                            fifo.append((_NORMAL_KEY + eid, process))
+                            process._key = eid
+                            fifo_append(process)
                             break
 
-                        if isinstance(next_event, Event):
+                        try:
                             cbs = next_event.callbacks
-                            if cbs is not None:
-                                if cbs.__class__ is tuple:
-                                    next_event.callbacks = process
-                                elif cbs.__class__ is list:
-                                    cbs.append(process)
-                                else:
-                                    next_event.callbacks = [cbs, process]
-                                process._target = next_event
-                                break
-                            resumed = next_event
-                        else:
+                        except AttributeError:
                             exc = SimulationError(
                                 f"process yielded a non-event: "
                                 f"{next_event!r}")
                             resumed = Event(self)
                             resumed._ok = False
                             resumed._value = exc
+                            continue
+                        if cbs is not None:
+                            if cbs.__class__ is tuple:
+                                next_event.callbacks = process
+                            elif cbs.__class__ is list:
+                                cbs.append(process)
+                            else:
+                                next_event.callbacks = [cbs, process]
+                            process._target = next_event
+                            break
+                        resumed = next_event
 
-                    if process._value is not _PENDING:
-                        process._target = None
                     self._active_process = None
                 else:
                     cls = process.__class__
@@ -809,5 +1056,48 @@ class Environment:
                             callback(event)
                     elif cls is not tuple:
                         process(event)
+            if not event._ok and not event._defused:
+                raise event._value
+
+    def _run_reference(self, stop_event: Optional[Event],
+                       stop_time: Optional[float], horizon: float) -> Any:
+        """Reference run loop: generic pop + dispatch, no inlining.
+
+        The direct transcription of the semantics the optimized loop in
+        :meth:`run` must preserve.  Serves the array-heap mode (where the
+        per-pop cost dwarfs any dispatch inlining) and doubles as the
+        executable specification the golden traces compare both loops
+        against.
+        """
+        publish = self._publish
+        while True:
+            if stop_event is not None and stop_event.callbacks is None:
+                if not stop_event._ok:
+                    raise stop_event._value
+                return stop_event._value
+            if not (self._urgent or self._fifo):
+                queue = self._queue
+                if not queue:
+                    if stop_event is not None:
+                        raise SimulationError(
+                            "event queue drained before the stop event fired")
+                    if stop_time is not None:
+                        self._now = stop_time
+                    return None
+                when = queue[0][0] if queue.__class__ is list else queue.peek_when()
+                if when > horizon:
+                    self._now = stop_time
+                    return None
+            event = self._pop_next()
+            if publish is not None:
+                publish(self._now, event)
+            callbacks = event.callbacks
+            event.callbacks = None
+            if callbacks is not None:
+                if callbacks.__class__ is list:
+                    for callback in callbacks:
+                        callback(event)
+                elif callbacks.__class__ is not tuple:
+                    callbacks(event)
             if not event._ok and not event._defused:
                 raise event._value

@@ -1,0 +1,129 @@
+"""Alternative priority-queue layouts for the simulation kernel.
+
+The default :class:`~repro.sim.engine.Environment` heap is a plain list
+of ``(time, key, event)`` tuples driven by the C-accelerated ``heapq``
+module.  :class:`ArrayHeap` is the *array-backed* alternative selected
+with ``Environment(heap="array")``: the same binary-heap ordering kept
+in three parallel flat arrays (times, packed tie-break keys, events)
+with hand-written sift loops.
+
+Why keep a pure-Python heap that cannot beat C ``heapq``?  Because the
+parallel-array layout is the shape a native accelerator wants: the
+``times``/``keys`` arrays are homogeneous scalars that a future C/cffi
+(or numpy) sift can operate on without touching the ``events`` objects,
+whereas ``heapq``'s tuple entries pin every comparison to boxed Python
+objects.  Keeping the layout live — selectable at construction, covered
+by the same golden traces and property tests as the default kernel —
+means the accelerator seam stays proven-correct instead of bit-rotting
+in a branch.
+
+Ordering contract: entries pop in strictly increasing ``(time, key)``
+order.  Keys are unique (they embed the environment's monotonically
+increasing sequence id), so the order is total and both heap
+implementations are observably identical — byte-identical golden
+traces, not just "equivalent".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.sim.engine import Event
+
+__all__ = ["ArrayHeap"]
+
+
+class ArrayHeap:
+    """A binary min-heap over parallel flat arrays, ordered by (time, key).
+
+    The API is the minimal surface the kernel needs: ``push``, ``pop``,
+    head peeks, and truthiness/length.  ``pop`` returns only the event;
+    callers that need the head timestamp read :meth:`peek_when` first
+    (the kernel already does this to decide whether the clock advances).
+    """
+
+    __slots__ = ("_times", "_keys", "_events")
+
+    def __init__(self) -> None:
+        self._times: list[float] = []
+        self._keys: list[int] = []
+        self._events: list[Event] = []
+
+    def __bool__(self) -> bool:
+        return bool(self._times)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def peek_when(self) -> float:
+        """Timestamp of the heap head.  The heap must be non-empty."""
+        return self._times[0]
+
+    def peek_key(self) -> int:
+        """Packed tie-break key of the heap head.  Must be non-empty."""
+        return self._keys[0]
+
+    def push(self, when: float, key: int, event: Event) -> None:
+        """Insert ``event`` scheduled at ``when`` with tie-break ``key``."""
+        times = self._times
+        keys = self._keys
+        events = self._events
+        times.append(when)
+        keys.append(key)
+        events.append(event)
+        # Sift the new tail toward the root (heapq's _siftdown).
+        pos = len(times) - 1
+        while pos:
+            parent = (pos - 1) >> 1
+            parent_when = times[parent]
+            if when < parent_when or (when == parent_when and key < keys[parent]):
+                times[pos] = parent_when
+                keys[pos] = keys[parent]
+                events[pos] = events[parent]
+                pos = parent
+            else:
+                break
+        times[pos] = when
+        keys[pos] = key
+        events[pos] = event
+
+    def pop(self) -> Event:
+        """Remove and return the event with the smallest (time, key)."""
+        times = self._times
+        keys = self._keys
+        events = self._events
+        head = events[0]
+        tail_when = times.pop()
+        tail_key = keys.pop()
+        tail_event = events.pop()
+        size = len(times)
+        if size:
+            # Move the old tail to the root and bubble it down past any
+            # smaller child (classic top-down sift with two-child compare).
+            pos = 0
+            child = 1
+            while child < size:
+                right = child + 1
+                if right < size:
+                    right_when = times[right]
+                    child_when = times[child]
+                    if right_when < child_when or (
+                        right_when == child_when and keys[right] < keys[child]
+                    ):
+                        child = right
+                child_when = times[child]
+                if child_when < tail_when or (
+                    child_when == tail_when and keys[child] < tail_key
+                ):
+                    times[pos] = child_when
+                    keys[pos] = keys[child]
+                    events[pos] = events[child]
+                    pos = child
+                    child = 2 * pos + 1
+                else:
+                    break
+            times[pos] = tail_when
+            keys[pos] = tail_key
+            events[pos] = tail_event
+        return head

@@ -19,7 +19,6 @@ from typing import Any, Optional
 
 from repro.sim.engine import (
     _NO_CALLBACKS,
-    _NORMAL_KEY,
     _PENDING,
     Environment,
     Event,
@@ -75,7 +74,8 @@ class Request(Event):
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self.cancel()
+        # == cancel(), inlined: __exit__ runs once per held slot.
+        self.resource.release(self)
 
     def cancel(self) -> None:
         """Release the slot if held, or withdraw the request if queued."""
@@ -93,10 +93,15 @@ class Release(Event):
         self.callbacks = _NO_CALLBACKS
         self._ok = True
         self._value = None
-        self._defused = False
         self.request = request
         env._eid = eid = env._eid + 1
-        env._fifo.append((_NORMAL_KEY + eid, self))
+        self._key = eid
+        env._fifo.append(self)
+
+
+# Pre-bound allocators mirroring the engine's hot-factory pattern.
+_RELEASE_NEW = Release.__new__
+_REQUEST_NEW = Request.__new__
 
 
 class Resource:
@@ -140,10 +145,9 @@ class Resource:
         if not self._fast_request:
             return Request(self, priority)
         env = self.env
-        request = Request.__new__(Request)
+        request = _REQUEST_NEW(Request)
         request.env = env
         request.callbacks = _NO_CALLBACKS
-        request._defused = False
         request.resource = self
         request.priority = priority
         request.process = env._active_process
@@ -155,7 +159,8 @@ class Resource:
             request._ok = True
             request._value = self
             env._eid = eid = env._eid + 1
-            env._fifo.append((_NORMAL_KEY + eid, request))
+            request._key = eid
+            env._fifo.append(request)
         else:
             request.usage_since = None
             request._ok = None
@@ -164,14 +169,27 @@ class Resource:
         return request
 
     def release(self, request: Request) -> Release:
+        # One list scan instead of a membership test plus a remove.
         users = self.users
-        if request in users:
+        try:
             users.remove(request)
+        except ValueError:
+            self._withdraw(request)
+        else:
             if self.queue and len(users) < self.capacity:
                 self._grant_next()
-        else:
-            self._withdraw(request)
-        return Release(self, request)
+        # == Release(self, request), inlined.
+        env = self.env
+        release = _RELEASE_NEW(Release)
+        release.env = env
+        release.callbacks = _NO_CALLBACKS
+        release._ok = True
+        release._value = None
+        release.request = request
+        env._eid = eid = env._eid + 1
+        release._key = eid
+        env._fifo.append(release)
+        return release
 
     # -- internals -----------------------------------------------------------
     def _add_request(self, request: Request) -> None:
@@ -210,7 +228,8 @@ class Resource:
             request._ok = True
             request._value = self
             env._eid = eid = env._eid + 1
-            env._fifo.append((_NORMAL_KEY + eid, request))
+            request._key = eid
+            env._fifo.append(request)
 
     def _pop_next(self) -> Request:
         return self.queue.popleft()
@@ -264,6 +283,10 @@ class StoreGet(Event):
         store._trigger()
 
 
+_STOREPUT_NEW = StorePut.__new__
+_STOREGET_NEW = StoreGet.__new__
+
+
 class Store:
     """An unbounded-or-bounded FIFO buffer of items between processes.
 
@@ -289,10 +312,9 @@ class Store:
 
     def put(self, item: Any) -> StorePut:
         env = self.env
-        put = StorePut.__new__(StorePut)
+        put = _STOREPUT_NEW(StorePut)
         put.env = env
         put.callbacks = _NO_CALLBACKS
-        put._defused = False
         put.item = item
         items = self.items
         if self._put_queue or len(items) >= self.capacity:
@@ -308,18 +330,18 @@ class Store:
         put._ok = True
         put._value = None
         env._eid = eid = env._eid + 1
-        env._fifo.append((_NORMAL_KEY + eid, put))
+        put._key = eid
+        env._fifo.append(put)
         gets = self._get_queue
-        if gets and items:
+        if gets:  # items is non-empty: the put above just appended
             gets.popleft().succeed(items.popleft())
         return put
 
     def get(self) -> StoreGet:
         env = self.env
-        get = StoreGet.__new__(StoreGet)
+        get = _STOREGET_NEW(StoreGet)
         get.env = env
         get.callbacks = _NO_CALLBACKS
-        get._defused = False
         items = self.items
         if self._get_queue or not items:
             get._value = _PENDING
@@ -333,9 +355,10 @@ class Store:
         get._ok = True
         get._value = items.popleft()
         env._eid = eid = env._eid + 1
-        env._fifo.append((_NORMAL_KEY + eid, get))
+        get._key = eid
+        env._fifo.append(get)
         puts = self._put_queue
-        if puts and len(items) < self.capacity:
+        if puts:  # the popleft above freed a slot, so capacity allows one put
             put = puts.popleft()
             items.append(put.item)
             put.succeed()
@@ -367,7 +390,6 @@ class ContainerPut(Event):
         self.callbacks = _NO_CALLBACKS
         self._value = _PENDING
         self._ok = None
-        self._defused = False
         self.amount = amount
         container._put_queue.append(self)
         container._trigger()
@@ -381,7 +403,6 @@ class ContainerGet(Event):
         self.callbacks = _NO_CALLBACKS
         self._value = _PENDING
         self._ok = None
-        self._defused = False
         self.amount = amount
         container._get_queue.append(self)
         container._trigger()

@@ -28,6 +28,11 @@ Usage::
     recorder.close()
     text = recorder.text(header="pictor-trace v1 my-workload")
 
+A recorder is one subscriber on the environment's
+:class:`~repro.sim.bus.EventBus`; any number of recorders (and other
+subscribers — probes, live monitors) can observe the same run, and
+:meth:`TraceRecorder.close` detaches exactly its own subscription.
+
 The scenario-level golden helpers (record/check/update against
 ``tests/golden/``) live in :mod:`repro.experiments.goldens`, above the
 scenario layer in the dependency stack.
@@ -38,7 +43,7 @@ from __future__ import annotations
 import hashlib
 from typing import Any, Optional
 
-from repro.sim.engine import Environment, Event, Process, SimulationError
+from repro.sim.engine import Environment, Event, Process
 
 __all__ = ["TraceRecorder", "value_digest", "event_pid"]
 
@@ -121,19 +126,20 @@ def event_pid(event: Event) -> Optional[int]:
 class TraceRecorder:
     """Records the environment's processed-event sequence as text lines.
 
-    Install before the first ``run()``/``step()`` call; the kernel reads
-    its tracer hook when a run starts.  Only one recorder may be attached
-    to an environment at a time.
+    Install before the ``run()`` call you want to observe; the kernel
+    hoists the bus's publish hook when a run starts.  The recorder is an
+    ordinary bus subscriber, so several recorders — or a recorder plus
+    other observers — can watch the same environment at once, each
+    seeing every event in dispatch order.
     """
 
     def __init__(self, env: Environment):
-        if env._tracer is not None:
-            raise SimulationError("environment already has a tracer attached")
         self.env = env
         self.entries: list[str] = []
         self._seq = 0
         self._hook = self._record
-        env._tracer = self._hook
+        env.bus.subscribe(self._hook)
+        self._attached = True
 
     def _record(self, now: float, event: Event) -> None:
         self._seq = seq = self._seq + 1
@@ -144,9 +150,14 @@ class TraceRecorder:
             f"{'-' if pid is None else pid} {value_digest(value)}")
 
     def close(self) -> None:
-        """Detach from the environment (entries remain available)."""
-        if self.env._tracer is self._hook:
-            self.env._tracer = None
+        """Detach this recorder's own bus subscription (idempotent).
+
+        Other subscribers on the same bus are untouched; the recorded
+        entries remain available.
+        """
+        if self._attached:
+            self._attached = False
+            self.env.bus.unsubscribe(self._hook)
 
     def text(self, header: str = "") -> str:
         """The full trace as text, one event per line.

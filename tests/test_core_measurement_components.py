@@ -128,6 +128,50 @@ def test_fps_counter_empty_is_zero(env):
         counter.windowed_fps(0.0)
 
 
+def test_windowed_fps_matches_linear_scan_on_uneven_spacing(env):
+    """The bisect window boundary is exactly the old t >= cutoff scan,
+    including ties right on the cutoff."""
+    counter = FpsCounter(env)
+
+    def proc(env):
+        for delay in (0.1, 0.1, 0.3, 0.0, 0.5, 1.0, 0.0, 0.2):
+            yield env.timeout(delay)
+            counter.record_frame()
+
+    env.process(proc(env))
+    env.run()
+    for window in (0.2, 0.5, 1.0, 1.2, 10.0):
+        cutoff = env.now - window
+        expected = len([t for t in counter.timestamps if t >= cutoff])
+        assert counter.windowed_fps(window) == pytest.approx(expected / window)
+
+
+def test_event_rate_monitor_counts_dispatches_via_the_bus(env):
+    from repro.core.monitors import EventRateMonitor
+    from repro.sim.trace import TraceRecorder
+
+    monitor = EventRateMonitor(env)
+    recorder = TraceRecorder(env)  # chains alongside, does not conflict
+
+    def proc(env):
+        yield env.timeout(1.0)
+        yield env.timeout(1.0)
+
+    env.process(proc(env))
+    env.run()
+    # Initialize + two timeouts + process termination, same as the trace.
+    assert monitor.total == len(recorder) == 4
+    assert monitor.counts == {"Initialize": 1, "Timeout": 2, "Process": 1}
+    assert monitor.events_per_second() == pytest.approx(2.0)
+
+    monitor.close()
+    monitor.close()  # idempotent
+    env.timeout(1.0)
+    env.run()
+    assert monitor.total == 4      # detached: saw nothing new
+    assert len(recorder) == 5      # recorder still attached
+
+
 def test_resource_monitor_samples_periodically(env):
     machine = ServerMachine(env)
     monitor = ResourceMonitor(env, machine, interval=1.0)

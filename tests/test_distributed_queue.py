@@ -170,6 +170,50 @@ def test_claiming_an_aged_pending_job_starts_a_fresh_lease(tmp_path, config):
     assert queue.result_entry(job.key()) is not None
 
 
+def test_wall_clock_jump_forward_does_not_expire_a_watched_claim(tmp_path,
+                                                                 config):
+    """Lease aging is monotonic: an NTP step / DST jump of the wall clock
+    must not mass-requeue claims whose workers are alive and on time."""
+    queue = DirectoryQueue(tmp_path / "q")
+    job = ExperimentJob(Scenario.single("RE", config, seed_offset=1))
+    queue.submit(job)
+    claimed = queue.claim("w1")
+    # First sweep establishes the monotonic mark for the claim.
+    assert queue.requeue_stale(lease_s=60.0) == []
+
+    # The wall clock leaps an hour forward; monotonic time barely moves.
+    queue._wall = lambda: time.time() + 3600.0
+    assert queue.requeue_stale(lease_s=60.0) == []
+    # A heartbeat during the jump keeps the claim fresh too.
+    assert queue.heartbeat("w1") == [claimed.key]
+    assert queue.requeue_stale(lease_s=60.0) == []
+    assert queue.counts().claimed == 1
+
+
+def test_future_stamped_claim_still_expires_on_monotonic_time(tmp_path,
+                                                              config):
+    """A claim whose mtime is in the future (the wall clock stepped back
+    after it was written) must not be immortal: it ages from first
+    sighting on the monotonic clock and is recovered once the worker
+    really stops heartbeating."""
+    queue = DirectoryQueue(tmp_path / "q")
+    job = ExperimentJob(Scenario.single("RE", config, seed_offset=1))
+    queue.submit(job)
+    claimed = queue.claim("w1")
+    future = time.time() + 3600.0
+    os.utime(claimed.path, (future, future))
+
+    # First sighting clamps the future stamp to zero age instead of
+    # computing a negative one.
+    assert queue.requeue_stale(lease_s=60.0) == []
+    # Advance only the monotonic clock past the lease: recovered.
+    mono_base = time.monotonic
+    queue._mono = lambda: mono_base() + 120.0
+    assert queue.requeue_stale(lease_s=60.0) == [claimed.key]
+    assert queue.counts().pending == 1
+    assert queue.counts().claimed == 0
+
+
 def test_distributed_suite_rejects_tampered_queue_results(tmp_path, config,
                                                           caplog):
     """A pre-existing tampered result in a shared queue is logged,

@@ -113,6 +113,27 @@ def test_vnc_spoils_frames_when_compression_is_the_bottleneck():
     assert session.client.frames_displayed < session.frames_produced
 
 
+def test_frame_tag_map_stays_bounded_over_a_long_run():
+    """frame_tags must track only frames in flight, not the whole run:
+    the compress loop pops entries on the way out and untagged frames
+    never create one, so the dict cannot grow with frames_produced."""
+    _env, session = run_session(duration=10.0)
+    assert session.frames_produced > 100
+    # In-flight frames at any instant number in the single digits.
+    assert len(session.frame_tags) < 20
+    assert session.vnc.frame_tags is session.frame_tags
+
+
+def test_spoiled_frame_tags_are_popped_not_leaked():
+    optimized_config = SessionConfig(pipeline=PipelineConfig(
+        memoize_window_attributes=True, two_step_frame_copy=True))
+    _env, session = run_session("STK", duration=10.0,
+                                session_config=optimized_config)
+    assert session.vnc.frames_spoiled > 0
+    # Dropped frames' tag entries are carried forward then removed.
+    assert len(session.frame_tags) < 20
+
+
 def test_session_close_releases_resources():
     env = Environment()
     machine = ServerMachine(env)

@@ -552,8 +552,8 @@ def _random_workload(env, spec):
         env.process(proc(env, delays, index))
 
 
-def _trace_with_run(spec):
-    env = Environment()
+def _trace_with_run(spec, heap="tuple"):
+    env = Environment(heap=heap)
     recorder = TraceRecorder(env)
     _random_workload(env, spec)
     env.run()
@@ -590,8 +590,176 @@ def test_clock_is_monotonic_and_bounded(spec, horizon):
     env = Environment()
     _random_workload(env, spec)
     observed = []
-    env._tracer = lambda now, event: observed.append(now)
+    env.bus.subscribe(lambda now, event: observed.append(now))
     env.run(until=horizon)
     assert env.now == horizon
     assert all(t1 <= t2 for t1, t2 in zip(observed, observed[1:]))
     assert all(0.0 <= t <= horizon for t in observed)
+
+
+# ---------------------------------------------------------------------------
+# Batched same-timestamp dispatch and heap implementations.
+# ---------------------------------------------------------------------------
+
+def test_unknown_heap_rejected():
+    with pytest.raises(SimulationError):
+        Environment(heap="fibonacci")
+
+
+def test_heap_kind_reports_selection():
+    assert Environment().heap_kind == "tuple"
+    assert Environment(heap="array").heap_kind == "array"
+
+
+@settings(max_examples=25, deadline=None)
+@given(spec=_DELAYS)
+def test_array_heap_traces_match_tuple_heap(spec):
+    """Both heap implementations dispatch the identical event sequence."""
+    assert _trace_with_run(spec) == _trace_with_run(spec, heap="array")
+
+
+_BURST_SPEC = st.lists(
+    st.tuples(st.integers(min_value=1, max_value=8),      # waiters per burst
+              st.sampled_from([0.0, 0.125, 0.25])),       # follow-up delay
+    min_size=1, max_size=5)
+
+
+def _burst_workload(env, spec):
+    """Same-instant bursts: a coordinator succeeds many events at one
+    timestamp while waiters chain zero-delay and colliding heap timeouts
+    — the exact shape the batched FIFO drain accelerates."""
+    def waiter(env, inbox, follow_up):
+        yield inbox
+        yield env.timeout(follow_up)       # 0.0 stays in the drain;
+        yield env.timeout(0.25)            # 0.25 collides across waiters
+
+    def coordinator(env, inboxes):
+        yield env.timeout(0.5)
+        for index, inbox in enumerate(inboxes):
+            inbox.succeed(index)
+
+    for waiters, follow_up in spec:
+        inboxes = [env.event() for _ in range(waiters)]
+        for inbox in inboxes:
+            env.process(waiter(env, inbox, follow_up))
+        env.process(coordinator(env, inboxes))
+
+
+@settings(max_examples=25, deadline=None)
+@given(spec=_BURST_SPEC)
+def test_batched_drain_matches_step_and_array_heap(spec):
+    """The drained fast path, the step() reference and the array heap all
+    agree on same-timestamp burst workloads."""
+    def run_trace(heap):
+        env = Environment(heap=heap)
+        recorder = TraceRecorder(env)
+        _burst_workload(env, spec)
+        env.run()
+        return recorder.entries
+
+    def step_trace():
+        env = Environment()
+        recorder = TraceRecorder(env)
+        _burst_workload(env, spec)
+        while env.peek() != float("inf"):
+            env.step()
+        return recorder.entries
+
+    reference = step_trace()
+    assert run_trace("tuple") == reference
+    assert run_trace("array") == reference
+    assert reference  # the workload actually dispatched events
+
+
+def test_stop_event_processed_mid_drain_halts_the_batch(env):
+    """run(until=event) returns the moment the stop event is *processed*;
+    same-instant work queued behind it stays pending for a later run."""
+    order = []
+    stop = env.event()
+
+    def waiter(env, inbox, label):
+        order.append((yield inbox))
+        if label == "b":
+            stop.succeed("done")
+        yield env.timeout(0.0)
+        order.append(label + "2")
+
+    inboxes = {label: env.event() for label in ("a", "b", "c", "d")}
+    for label, inbox in inboxes.items():
+        env.process(waiter(env, inbox, label))
+
+    def coordinator(env):
+        yield env.timeout(0.5)
+        for label, inbox in inboxes.items():
+            inbox.succeed(label)
+
+    env.process(coordinator(env))
+    assert env.run(until=stop) == "done"
+    # Every inbox wakeup preceded the stop event in the batch, as did
+    # a's zero-delay follow-up; the follow-ups queued after the stop
+    # event's FIFO position are still pending when run() returns.
+    assert order == ["a", "b", "c", "d", "a2"]
+    env.run()
+    assert order == ["a", "b", "c", "d", "a2", "b2", "c2", "d2"]
+
+
+def test_interrupt_scheduled_mid_drain_preempts_remaining_fifo(env):
+    """An Interruption lands on the urgent deque and must cut ahead of
+    events already sitting in the same-instant FIFO batch."""
+    order = []
+    victim_box = []
+
+    def victim(env):
+        try:
+            yield env.timeout(5.0)
+        except Interrupt as interrupt:
+            order.append(("interrupted", interrupt.cause))
+
+    def attacker(env):
+        yield env.timeout(1.0)
+        order.append("attacker")
+        victim_box[0].interrupt(cause="boom")
+
+    def bystander(env):
+        yield env.timeout(1.0)
+        order.append("bystander")
+
+    victim_box.append(env.process(victim(env)))
+    env.process(attacker(env))
+    env.process(bystander(env))
+    env.run()
+    # The interruption preempts the bystander's same-instant resume.
+    assert order == ["attacker", ("interrupted", "boom"), "bystander"]
+
+
+def test_sub_resolution_delay_fires_at_current_instant_in_id_order(env):
+    """A positive delay too small for the clock to represent behaves as a
+    zero-delay schedule: same instant, sequence-id order (on both heaps
+    and under step())."""
+    def build(environment):
+        recorder = TraceRecorder(environment)
+        order = []
+
+        def proc(environment):
+            base = environment.now
+            tiny = environment.timeout(1e-18, value="tiny")
+            zero = environment.timeout(0.0, value="zero")
+            first = yield tiny
+            order.append(first)
+            second = yield zero
+            order.append(second)
+            assert environment.now == base
+        environment.process(proc(environment))
+        return recorder, order
+
+    env = Environment(initial_time=1.0)
+    recorder, order = build(env)
+    env.run()
+    assert order == ["tiny", "zero"]
+    assert env.now == 1.0
+
+    for other in (Environment(initial_time=1.0, heap="array"),):
+        other_recorder, other_order = build(other)
+        other.run()
+        assert other_order == order
+        assert other_recorder.entries == recorder.entries
