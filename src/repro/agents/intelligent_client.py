@@ -115,6 +115,22 @@ class IntelligentClient:
         self.actions_issued += 1
         return action, cv_time + rnn_time
 
+    def bound_to(self, app: Application3D) -> "IntelligentClient":
+        """Attach this trained client to a freshly created application.
+
+        The supported re-binding seam for ``run_custom`` agent factories
+        and warm artefact replays: the client keeps its inference RNG
+        stream and timing accumulators (a run that continues with the
+        same client must continue the same stream, exactly as the fused
+        train-then-measure path did) while the policy's recurrent state
+        is cleared so every run starts from the trained-and-reset state.
+        Returns ``self`` so factories can be written as
+        ``lambda app: client.bound_to(app)``.
+        """
+        self.app = app
+        self.policy.reset_state()
+        return self
+
     # -- reporting -------------------------------------------------------------------
     def mean_cv_time(self) -> float:
         return float(np.mean(self.cv_times)) if self.cv_times else 0.0

@@ -59,6 +59,20 @@ is the figure-regression check CI performs::
     PYTHONPATH=src python -m repro.experiments results backfill \
         --store .pictor-cache
 
+The ``agents`` subcommand manages the trained-agent artefact registry
+the same database carries: train once, content-addressed, then every
+intelligent-client job — any backend, any machine with store access —
+resolves its agent from the store instead of retraining::
+
+    PYTHONPATH=src python -m repro.experiments agents train \
+        --store .pictor-cache --profile smoke
+    PYTHONPATH=src python -m repro.experiments agents list \
+        --store .pictor-cache
+    PYTHONPATH=src python -m repro.experiments agents show 53ab2f \
+        --store .pictor-cache
+    PYTHONPATH=src python -m repro.experiments agents gc \
+        --store .pictor-cache --keep 1
+
 The ``fleet`` subcommand scales from single scenarios to sampled
 populations: a JSON :class:`~repro.fleet.PopulationSpec` describes
 distributions over the scenario registries, ``fleet run`` drains a
@@ -444,6 +458,68 @@ def build_parser() -> argparse.ArgumentParser:
                                    "FILE (deterministic: byte-identical "
                                    "across replays of the same store)")
     _add_config_options(fleet_report, suppress_defaults=True)
+
+    agents = subcommands.add_parser(
+        "agents",
+        help="train, list, inspect and prune stored agent artifacts",
+        description="Manage the trained-agent artefact registry: the "
+                    "artifacts table a --cache-dir's result database "
+                    "carries.  `agents train` trains one artefact per "
+                    "configured benchmark and stores it content-addressed "
+                    "(idempotent: an existing hash replays from the "
+                    "store); intelligent-client jobs then resolve their "
+                    "agents from the same store instead of retraining.")
+    agents_sub = agents.add_subparsers(dest="agents_command",
+                                       metavar="action", required=True)
+
+    def add_agent_store(sub):
+        sub.add_argument("--store", default=None, metavar="PATH",
+                         help="result store holding the artifacts table "
+                              "(a cache directory or a .sqlite file)")
+
+    agents_train = agents_sub.add_parser(
+        "train", help="train and store one artefact per benchmark",
+        description="Train the intelligent-client artefact of every "
+                    "configured benchmark (seed offset = the benchmark's "
+                    "position, matching the split accuracy pipeline) and "
+                    "store it under its content hash.  Already-stored "
+                    "hashes are not retrained.")
+    add_agent_store(agents_train)
+    _add_config_options(agents_train, suppress_defaults=True)
+
+    agents_list = agents_sub.add_parser(
+        "list", help="list stored artefacts (provenance only)",
+        description="List stored artefact rows, newest first — no "
+                    "payload is unpickled.")
+    add_agent_store(agents_list)
+    agents_list.add_argument("--benchmark", default=None, metavar="NAME",
+                             help="only artefacts trained on this benchmark")
+
+    agents_show = agents_sub.add_parser(
+        "show", help="show one artefact's provenance and training spec",
+        description="Print one stored artefact row — provenance stamps "
+                    "plus the full training spec — as JSON.")
+    agents_show.add_argument("hash", help="artefact content hash (a unique "
+                                          "prefix is enough)")
+    add_agent_store(agents_show)
+
+    agents_gc = agents_sub.add_parser(
+        "gc", help="prune old artefacts per (kind, benchmark)",
+        description="Drop all but the newest --keep artefacts of each "
+                    "(kind, benchmark) group.  Artefact payloads are the "
+                    "largest rows a store carries; this bounds a "
+                    "long-lived store's growth explicitly.  Every dropped "
+                    "hash is logged; --dry-run reports without deleting.")
+    add_agent_store(agents_gc)
+    agents_gc.add_argument("--keep", type=int, default=1, metavar="N",
+                           help="artefacts to keep per (kind, benchmark), "
+                                "newest first (default 1)")
+    agents_gc.add_argument("--dry-run", action="store_true",
+                           help="report what would be dropped; delete "
+                                "nothing")
+    agents_gc.add_argument("--no-vacuum", action="store_true",
+                           help="skip the VACUUM that reclaims file "
+                                "space after deleting")
 
     worker = subcommands.add_parser(
         "worker",
@@ -1072,6 +1148,106 @@ def _run_fleet(args) -> int:
         return 2
 
 
+def _agents_store(args, create: bool = False):
+    if args.store is None:
+        raise ValueError("pass --store PATH (a cache directory or a "
+                         ".sqlite file)")
+    if create:
+        from repro.experiments.store import ResultStore
+        return ResultStore(args.store)
+    return _open_existing_store(args.store)
+
+
+def _agents_train(args) -> int:
+    from repro.agents.artifacts import (
+        ARTIFACT_SCHEMA_VERSION,
+        ArtifactSpec,
+        resolve_artifact,
+    )
+    config = make_config(args)
+    store = _agents_store(args, create=True)
+    rows = []
+    for index, benchmark in enumerate(config.benchmarks):
+        spec = ArtifactSpec.for_config(benchmark, config, seed_offset=index)
+        cached = store.get_artifact_bytes(
+            spec.content_hash(), schema=ARTIFACT_SCHEMA_VERSION) is not None
+        artifact = resolve_artifact(spec, store=store)
+        rows.append({"benchmark": benchmark,
+                     "hash": spec.short_hash(),
+                     "train_seed": spec.train_seed,
+                     "recording": len(artifact.recording),
+                     "size_bytes": len(artifact.to_bytes()),
+                     "status": "cached" if cached else "trained"})
+    print(format_rows(rows, title=f"{len(rows)} agent artifact(s) in "
+                                  f"{store.db_path}"))
+    return 0
+
+
+def _agents_list(args) -> int:
+    store = _agents_store(args)
+    rows = store.artifact_rows(benchmark=args.benchmark)
+    display = [{
+        "hash": row["hash"][:12],
+        "kind": row["kind"],
+        "benchmark": row["benchmark"],
+        "schema": row["schema"],
+        "git_rev": (row["git_rev"] or "")[:12],
+        "size_bytes": row["size_bytes"],
+        "runtime_s": (None if row["runtime_s"] is None
+                      else round(row["runtime_s"], 3)),
+    } for row in rows]
+    title = f"{len(rows)} agent artifact(s) in {store.db_path}"
+    if display:
+        print(format_rows(display, title=title))
+    else:
+        print(title)
+    return 0
+
+
+def _agents_show(args) -> int:
+    store = _agents_store(args)
+    rows = [row for row in store.artifact_rows()
+            if row["hash"].startswith(args.hash)]
+    if not rows:
+        raise ValueError(f"no stored artifact hash starts with "
+                         f"{args.hash!r}")
+    if len(rows) > 1:
+        raise ValueError(f"hash prefix {args.hash!r} is ambiguous: "
+                         + ", ".join(row["hash"][:12] for row in rows))
+    print(json.dumps(rows[0], indent=2, sort_keys=True, default=str))
+    return 0
+
+
+def _agents_gc(args) -> int:
+    if args.keep < 1:
+        raise ValueError("--keep must be at least 1 (gc keeps the newest "
+                         "N artefacts per group)")
+    store = _agents_store(args)
+    report = store.gc_artifacts(keep=args.keep, dry_run=args.dry_run,
+                                vacuum=not args.no_vacuum)
+    verb = "would drop" if report.dry_run else "dropped"
+    print(f"agents gc: {verb} {report.dropped} artifact(s) across "
+          f"{report.groups} (kind, benchmark) group(s); kept {report.kept} "
+          f"(newest {report.keep} per group)"
+          + ("; vacuumed" if report.vacuumed else ""))
+    return 0
+
+
+def _run_agents(args) -> int:
+    handlers = {
+        "train": _agents_train,
+        "list": _agents_list,
+        "show": _agents_show,
+        "gc": _agents_gc,
+    }
+    try:
+        return handlers[args.agents_command](args)
+    except (ValueError, KeyError, TypeError,
+            json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
 def _run_worker(args) -> int:
     from repro.experiments.queue import default_worker_id
     from repro.experiments.worker import run_worker
@@ -1151,6 +1327,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         return _run_results(args)
     if getattr(args, "command", None) == "fleet":
         return _run_fleet(args)
+    if getattr(args, "command", None) == "agents":
+        return _run_agents(args)
     if getattr(args, "command", None) == "worker":
         return _run_worker(args)
     if getattr(args, "command", None) == "serve":

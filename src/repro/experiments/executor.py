@@ -94,6 +94,36 @@ def _timed_execute(job: ExperimentJob) -> tuple:
     return result, time.perf_counter() - started
 
 
+def _pool_initializer(cache_dir) -> None:
+    """Bind the suite's result store as each pool worker's ambient
+    artifact store (module-level so spawn-based pools can pickle it).
+
+    Jobs that consume trained-agent artefacts then resolve them from the
+    shared database instead of retraining per worker process; without a
+    cache the resolution path falls back to deterministic on-demand
+    training, so results are identical either way.
+    """
+    if cache_dir is not None:
+        from repro.agents.artifacts import set_artifact_store
+        set_artifact_store(ResultStore(cache_dir))
+
+
+def _split_waves(pending: list[ExperimentJob]) -> list[list[ExperimentJob]]:
+    """Dependency waves for one batch: ``train`` jobs, then the rest.
+
+    Training jobs publish the content-addressed artefacts the
+    measurement jobs in the same submission consume, so draining them
+    first makes every dependent job a warm store hit on every backend
+    (serial, pool, directory queue, socket).  Nothing is wrong if a
+    measurement job runs cold — artefact resolution trains on demand,
+    deterministically — the wave split just prevents that duplicated
+    work.
+    """
+    train = [job for job in pending if job.kind == "train"]
+    rest = [job for job in pending if job.kind != "train"]
+    return [wave for wave in (train, rest) if wave]
+
+
 @dataclass
 class ExperimentSuite:
     """Runs experiment jobs through a pluggable execution backend.
@@ -240,14 +270,29 @@ class ExperimentSuite:
 
         if pending:
             self.stats.executed += len(pending)
-            for job, (result, runtime_s) in zip(pending, self._map(pending)):
-                unique[job] = result
-                self._memo[job] = result
-                if self._calibration is not None:
-                    self._calibration.observe(job.kind, job.cost_units(),
-                                              runtime_s)
-                if self._cache is not None:
-                    self._cache.put(job, result, runtime_s=runtime_s)
+            # The suite's store doubles as the process-ambient artifact
+            # store while its jobs run, so in-process execution (serial
+            # backend, and the fused accuracy/inference paths) trains
+            # each agent artefact at most once per database.
+            bound = self._cache is not None
+            if bound:
+                from repro.agents.artifacts import set_artifact_store
+                previous_store = set_artifact_store(self._cache)
+            try:
+                for wave in _split_waves(pending):
+                    for job, (result, runtime_s) in zip(wave,
+                                                        self._map(wave)):
+                        unique[job] = result
+                        self._memo[job] = result
+                        if self._calibration is not None:
+                            self._calibration.observe(job.kind,
+                                                      job.cost_units(),
+                                                      runtime_s)
+                        if self._cache is not None:
+                            self._cache.put(job, result, runtime_s=runtime_s)
+            finally:
+                if bound:
+                    set_artifact_store(previous_store)
 
         return [unique[job] for job in jobs]
 
@@ -276,7 +321,10 @@ class ExperimentSuite:
             by_job = self._run_distributed(ordered)
         elif self.backend == "parallel" and self.workers > 1 and len(jobs) > 1:
             if self._pool is None:
-                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_pool_initializer,
+                    initargs=(self.cache_dir,))
             futures = [(job, self._pool.submit(_timed_execute, job))
                        for job in ordered]
             by_job = {job: future.result() for job, future in futures}

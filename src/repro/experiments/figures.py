@@ -73,15 +73,34 @@ def _fig06_jobs(config):
     return accuracy.accuracy_jobs(config.benchmarks, config)
 
 
+def _fig06_cells(row) -> dict[str, object]:
+    cells: dict[str, object] = {"benchmark": row.benchmark}
+    cells.update({f"{m}_rtt_ms": row.mean_rtt_ms[m]
+                  for m in accuracy.METHODOLOGIES})
+    cells.update({f"{m}_error_pct": row.error_percent[m]
+                  for m in ("IC", "DB", "CH", "SM")})
+    return cells
+
+
 def _fig06_aggregate(config, results):
+    return [_fig06_cells(row) for row in results]
+
+
+def _fig06_split_jobs(config):
+    return accuracy.split_accuracy_jobs(config.benchmarks, config)
+
+
+def _fig06_split_aggregate(config, results):
+    # Six results per benchmark: the train-job summary (dropped — it
+    # exists to drain before the measurement wave) then one
+    # MethodologyResult per methodology, reassembled into the exact row
+    # the fused fig06 path prints.
     rows = []
-    for row in results:
-        cells: dict[str, object] = {"benchmark": row.benchmark}
-        cells.update({f"{m}_rtt_ms": row.mean_rtt_ms[m]
-                      for m in accuracy.METHODOLOGIES})
-        cells.update({f"{m}_error_pct": row.error_percent[m]
-                      for m in ("IC", "DB", "CH", "SM")})
-        rows.append(cells)
+    per_bench = 1 + len(accuracy.METHODOLOGIES)
+    for index, benchmark in enumerate(config.benchmarks):
+        chunk = results[index * per_bench:(index + 1) * per_bench]
+        row = accuracy.assemble_accuracy_row(benchmark, chunk[1:])
+        rows.append(_fig06_cells(row))
     return rows
 
 
@@ -260,6 +279,8 @@ def _build_registry() -> dict[str, FigureSpec]:
 
     add("fig06", "Figure 6 / Table 3: methodology accuracy",
         _fig06_jobs, _fig06_aggregate)
+    add("fig06-split", "Figure 6 / Table 3: methodology accuracy",
+        _fig06_split_jobs, _fig06_split_aggregate)
     add("fig07", "Figure 7: intelligent-client inference times",
         _fig07_jobs, _fig07_aggregate)
     add("sec4", "Section 4: measurement framework overhead",

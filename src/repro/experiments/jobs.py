@@ -49,7 +49,7 @@ __all__ = ["CACHE_SCHEMA_VERSION", "ExperimentJob", "JobVariant",
 CACHE_SCHEMA_VERSION = SCENARIO_SCHEMA_VERSION
 
 #: Job kinds understood by :func:`execute_job`.
-JOB_KINDS = ("host", "accuracy", "inference")
+JOB_KINDS = ("host", "accuracy", "inference", "train", "methodology")
 
 
 @dataclass(frozen=True)
@@ -118,6 +118,17 @@ class ExperimentJob:
     ``inference``
         Train the intelligent client for the scenario's single benchmark
         and measure its CNN/LSTM inference times (one Figure-7 row, a dict).
+    ``train``
+        Train (or warm-load) the scenario's single benchmark's intelligent
+        client into the content-addressed artefact registry
+        (:mod:`repro.agents.artifacts`) and return a provenance summary
+        dict.  The seed policy's offset is the training-seed offset.
+    ``methodology``
+        Run one of the five Table-3 methodologies standalone, returning a
+        :class:`~repro.experiments.accuracy.MethodologyResult`.  The seed
+        policy's offset names the methodology (0–4 = H/IC/DB/CH/SM — the
+        fused path's fixed run offsets) and the placement's agent carries
+        the artefact reference (``intelligent@K`` / ``deskbench@K``).
     """
 
     scenario: Scenario
@@ -167,6 +178,11 @@ class ExperimentJob:
                 raise ValueError(
                     f"{self.kind!r} jobs support only default variant/"
                     "machine/network/host options and config-relative seeds")
+            if self.kind == "methodology" and not 0 <= self.scenario.seed.offset <= 4:
+                raise ValueError(
+                    "'methodology' jobs encode the methodology in the seed "
+                    "policy's offset (0..4 = H/IC/DB/CH/SM), got "
+                    f"{self.scenario.seed.offset}")
         if self.duration is not None and self.duration <= 0:
             raise ValueError("duration override must be positive")
 
@@ -252,10 +268,23 @@ def _execute_inference(job: ExperimentJob):
                               index=job.seed_offset)
 
 
+def _execute_train(job: ExperimentJob):
+    from repro.experiments.accuracy import train_for_job
+    return train_for_job(job.benchmarks[0], job.config,
+                         seed_offset=job.seed_offset)
+
+
+def _execute_methodology(job: ExperimentJob):
+    from repro.experiments.accuracy import methodology_result_for_job
+    return methodology_result_for_job(job)
+
+
 _EXECUTORS = {
     "host": _execute_host,
     "accuracy": _execute_accuracy,
     "inference": _execute_inference,
+    "train": _execute_train,
+    "methodology": _execute_methodology,
 }
 
 

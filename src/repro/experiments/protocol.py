@@ -88,6 +88,8 @@ class MessageType(enum.IntEnum):
     RESULT = 8
     FAILURE = 9
     INVALIDATE = 10
+    ARTIFACT_GET = 11
+    ARTIFACT_PUT = 12
     #: Response types: every request gets exactly one of these back.
     OK = 64
     ERROR = 65

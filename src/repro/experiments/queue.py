@@ -163,6 +163,13 @@ class WorkQueue(abc.ABC):
     def counts(self) -> QueueCounts:
         """How many jobs sit in each lifecycle state."""
 
+    def artifact_store(self):
+        """The store workers should bind for trained-agent artefacts
+        (see :mod:`repro.agents.artifacts`), or None when this transport
+        has no shared artefact storage — workers then fall back to
+        deterministic on-demand training."""
+        return None
+
 
 class DirectoryQueue(WorkQueue):
     """The shared-filesystem queue (see the module docstring protocol)."""
@@ -242,6 +249,11 @@ class DirectoryQueue(WorkQueue):
 
     def result_entry(self, key: str) -> Optional[dict]:
         return self.results.get_entry(key)
+
+    def artifact_store(self):
+        """Artefacts share the queue's result database, so every worker
+        on the shared filesystem resolves the same trained agents."""
+        return self.results
 
     def invalidate(self, key: str) -> None:
         self.results.invalidate(key)

@@ -371,6 +371,27 @@ class QueueServer:
         self.queue.invalidate(payload["key"])
         return {}
 
+    def _op_artifact_get(self, payload: dict) -> dict:
+        if payload.get("rows"):
+            return {"rows": self.queue.results.artifact_rows(payload.get("benchmark"))}
+        return {
+            "payload": self.queue.results.get_artifact_bytes(
+                payload["hash"], schema=payload.get("schema")
+            )
+        }
+
+    def _op_artifact_put(self, payload: dict) -> dict:
+        stored = self.queue.results.put_artifact_bytes(
+            payload["hash"],
+            payload["payload"],
+            schema=payload["schema"],
+            kind=payload.get("kind", "agent"),
+            benchmark=payload.get("benchmark"),
+            spec=payload.get("spec"),
+            runtime_s=payload.get("runtime_s"),
+        )
+        return {"stored": stored}
+
     _HANDLERS = {
         MessageType.SUBMIT: _op_submit,
         MessageType.CLAIM: _op_claim,
@@ -382,4 +403,6 @@ class QueueServer:
         MessageType.RESULT: _op_result,
         MessageType.FAILURE: _op_failure,
         MessageType.INVALIDATE: _op_invalidate,
+        MessageType.ARTIFACT_GET: _op_artifact_get,
+        MessageType.ARTIFACT_PUT: _op_artifact_put,
     }

@@ -245,3 +245,92 @@ class SocketQueue(WorkQueue):
                 "traceback": "".join(traceback.format_exception(error)),
             },
         )
+
+    # -- artifact transfer ------------------------------------------------------------
+    def artifact_store(self) -> "_SocketArtifactStore":
+        """A store adapter serving trained-agent artefacts over the wire
+        (the socket analogue of :meth:`DirectoryQueue.artifact_store`)."""
+        return _SocketArtifactStore(self)
+
+
+class _SocketArtifactStore:
+    """Artifact get/put against the queue server's result database.
+
+    Speaks the ARTIFACT_GET / ARTIFACT_PUT frames; an **older server**
+    answers an unknown request type with an ERROR frame, which surfaces
+    here as :class:`QueueRemoteError` — the adapter then disables itself
+    with one log line and degrades gracefully: gets miss and puts drop,
+    so workers fall back to deterministic on-demand training instead of
+    failing the fleet.  A server that stays unreachable through the
+    whole retry budget (:class:`QueueConnectionError`) degrades the same
+    way — artifact transfer is an optimization, never a correctness
+    dependency.
+    """
+
+    def __init__(self, queue: SocketQueue):
+        self._queue = queue
+        self._disabled = False
+
+    def _disable(self, error: Exception) -> None:
+        if not self._disabled:
+            logger.warning(
+                "queue server %s cannot serve agent artifacts (%s); "
+                "falling back to on-demand training",
+                self._queue.addr,
+                error,
+            )
+        self._disabled = True
+
+    def get_artifact_bytes(self, hash: str, schema: Optional[int] = None) -> Optional[bytes]:
+        if self._disabled:
+            return None
+        try:
+            return self._queue._request(
+                MessageType.ARTIFACT_GET, {"hash": hash, "schema": schema}
+            )["payload"]
+        except (QueueConnectionError, QueueRemoteError) as error:
+            self._disable(error)
+            return None
+
+    def put_artifact_bytes(
+        self,
+        hash: str,
+        payload: bytes,
+        *,
+        schema: int,
+        kind: str = "agent",
+        benchmark: Optional[str] = None,
+        spec: Optional[dict] = None,
+        runtime_s: Optional[float] = None,
+    ) -> bool:
+        if self._disabled:
+            return False
+        try:
+            return self._queue._request(
+                MessageType.ARTIFACT_PUT,
+                {
+                    "hash": hash,
+                    "payload": payload,
+                    "schema": schema,
+                    "kind": kind,
+                    "benchmark": benchmark,
+                    "spec": spec,
+                    "runtime_s": runtime_s,
+                },
+            )["stored"]
+        except (QueueConnectionError, QueueRemoteError) as error:
+            self._disable(error)
+            return False
+
+    def artifact_rows(self, benchmark: Optional[str] = None) -> list[dict]:
+        """Explicit-hash resolution support (``agent#<hash>`` placements
+        on socket workers); empty against a pre-artifact server."""
+        if self._disabled:
+            return []
+        try:
+            return self._queue._request(
+                MessageType.ARTIFACT_GET, {"benchmark": benchmark, "rows": True}
+            )["rows"]
+        except (QueueConnectionError, QueueRemoteError) as error:
+            self._disable(error)
+            return []

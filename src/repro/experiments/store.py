@@ -71,8 +71,8 @@ from repro.experiments.jobs import CACHE_SCHEMA_VERSION
 if TYPE_CHECKING:
     from repro.experiments.jobs import ExperimentJob
 
-__all__ = ["BackfillReport", "DiffDelta", "DiffReport", "GcReport",
-           "MigrationReport", "PROVENANCE_METRIC_COLUMNS",
+__all__ = ["ArtifactGcReport", "BackfillReport", "DiffDelta", "DiffReport",
+           "GcReport", "MigrationReport", "PROVENANCE_METRIC_COLUMNS",
            "PickleResultCache", "RESULT_DB_FILENAME", "ResultCache",
            "ResultStore", "ToleranceTable", "atomic_write_bytes",
            "current_git_rev", "diff_result_sets", "entry_metrics",
@@ -117,6 +117,20 @@ CREATE TABLE IF NOT EXISTS metrics (
     PRIMARY KEY (key, git_rev, name)
 ) WITHOUT ROWID;
 CREATE INDEX IF NOT EXISTS idx_metrics_name ON metrics (name);
+CREATE TABLE IF NOT EXISTS artifacts (
+    hash       TEXT    NOT NULL PRIMARY KEY,
+    schema     INTEGER NOT NULL,
+    kind       TEXT    NOT NULL,
+    benchmark  TEXT,
+    spec_json  TEXT    NOT NULL,
+    git_rev    TEXT    NOT NULL,
+    created_at REAL    NOT NULL,
+    runtime_s  REAL,
+    size_bytes INTEGER NOT NULL,
+    payload    BLOB    NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_artifacts_benchmark
+    ON artifacts (benchmark, created_at);
 """
 
 #: Provenance columns :meth:`ResultStore.provenance_values` may serve as
@@ -667,6 +681,132 @@ class ResultStore:
                 report.dropped_rows, report.keys, self.db_path,
                 report.kept_rows)
         return report
+
+    # -- trained-agent artifacts --------------------------------------------------------
+    # Content-addressed artefact payloads (trained agents, see
+    # repro.agents.artifacts) ride in the same database as the results
+    # they enable, provenance-stamped like result rows.  The hash is the
+    # whole identity — the same spec always trains to bit-identical
+    # bytes — so writes are INSERT OR IGNORE: the first writer wins and
+    # every later writer is a no-op, which makes concurrent training
+    # races (pool workers, fleet workers) harmless.
+
+    def put_artifact_bytes(self, hash: str, payload: bytes, *, schema: int,
+                           kind: str = "agent",
+                           benchmark: Optional[str] = None,
+                           spec: Optional[dict] = None,
+                           runtime_s: Optional[float] = None) -> bool:
+        """Store one artefact payload under its content hash (idempotent);
+        returns whether a new row was written."""
+        conn = self.connection()
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            cursor = conn.execute(
+                "INSERT OR IGNORE INTO artifacts (hash, schema, kind, "
+                "benchmark, spec_json, git_rev, created_at, runtime_s, "
+                "size_bytes, payload) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (hash, schema, kind, benchmark,
+                 json.dumps(spec or {}, sort_keys=True, default=list),
+                 current_git_rev(), time.time(), runtime_s, len(payload),
+                 payload))
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        return cursor.rowcount > 0
+
+    def get_artifact_bytes(self, hash: str,
+                           schema: Optional[int] = None) -> Optional[bytes]:
+        """The stored payload for ``hash``, or None when absent or stale.
+
+        With ``schema`` given, a row written under a different artefact
+        schema version is rejected with a log line (mirroring the result
+        rows' stale-entry contract) so consumers retrain instead of
+        deserializing a stale layout.
+        """
+        row = self.connection().execute(
+            "SELECT schema, payload FROM artifacts WHERE hash = ?",
+            (hash,)).fetchone()
+        if row is None:
+            return None
+        if schema is not None and row[0] != schema:
+            logger.warning(
+                "rejecting stale artifact %s: schema version %s != current "
+                "%s; recomputing", self.locate(hash), row[0], schema)
+            return None
+        return row[1]
+
+    def artifact_rows(self, benchmark: Optional[str] = None) -> list[dict]:
+        """Provenance rows of stored artefacts, newest first (payloads
+        stay in the database — ``get_artifact_bytes`` serves those)."""
+        query = ("SELECT hash, schema, kind, benchmark, spec_json, git_rev, "
+                 "created_at, runtime_s, size_bytes FROM artifacts")
+        params: list = []
+        if benchmark is not None:
+            query += " WHERE benchmark = ?"
+            params.append(benchmark)
+        query += " ORDER BY created_at DESC, hash"
+        return [{"hash": row[0], "schema": row[1], "kind": row[2],
+                 "benchmark": row[3], "spec": json.loads(row[4]),
+                 "git_rev": row[5], "created_at": row[6],
+                 "runtime_s": row[7], "size_bytes": row[8]}
+                for row in self.connection().execute(query, params)]
+
+    def gc_artifacts(self, keep: int = 1, dry_run: bool = False,
+                     vacuum: bool = True) -> "ArtifactGcReport":
+        """Prune artefacts: keep the newest ``keep`` per (kind, benchmark).
+
+        Trained-agent payloads are the largest rows a store carries;
+        like :meth:`gc` this bounds growth explicitly, and every dropped
+        hash is logged.
+        """
+        if keep < 1:
+            raise ValueError("keep must be at least 1")
+        conn = self.connection()
+        groups: dict[tuple, list[tuple]] = {}
+        for hash_, kind, benchmark, created_at, rowid in conn.execute(
+                "SELECT hash, kind, benchmark, created_at, rowid "
+                "FROM artifacts"):
+            groups.setdefault((kind, benchmark or ""), []).append(
+                (created_at, rowid, hash_))
+        report = ArtifactGcReport(groups=len(groups), keep=keep,
+                                  dry_run=dry_run)
+        doomed: list[tuple[str]] = []
+        for group in sorted(groups):
+            rows = sorted(groups[group], reverse=True)
+            report.kept += min(len(rows), keep)
+            for _, _, hash_ in rows[keep:]:
+                doomed.append((hash_,))
+                logger.info(
+                    "artifacts gc: %s %s (kind=%s benchmark=%s; keeping the "
+                    "newest %d)", "would drop" if dry_run else "dropping",
+                    hash_[:12], group[0], group[1] or "-", keep)
+        report.dropped = len(doomed)
+        if doomed and not dry_run:
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                conn.executemany("DELETE FROM artifacts WHERE hash = ?",
+                                 doomed)
+                conn.execute("COMMIT")
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+            if vacuum:
+                conn.execute("VACUUM")
+                report.vacuumed = True
+        return report
+
+
+@dataclass
+class ArtifactGcReport:
+    """What one :meth:`ResultStore.gc_artifacts` pass did (or would do)."""
+
+    groups: int = 0           # distinct (kind, benchmark) groups examined
+    keep: int = 1
+    kept: int = 0
+    dropped: int = 0
+    dry_run: bool = False
+    vacuumed: bool = False
 
 
 @dataclass

@@ -118,6 +118,15 @@ def run_worker(queue: WorkQueue, *, worker_id: Optional[str] = None,
     worker = worker_id or default_worker_id()
     pump = (_HeartbeatPump(queue, worker, heartbeat_s).start()
             if heartbeat_s else None)
+    # The queue's artefact store becomes this process's ambient one for
+    # the life of the loop, so jobs that consume trained agents resolve
+    # them from (and publish them to) the fleet-shared database instead
+    # of retraining per worker.
+    store = queue.artifact_store()
+    bound_store = store is not None
+    if bound_store:
+        from repro.agents.artifacts import set_artifact_store
+        previous_store = set_artifact_store(store)
     executed = 0
     idle_since = time.monotonic()
     try:
@@ -147,6 +156,8 @@ def run_worker(queue: WorkQueue, *, worker_id: Optional[str] = None,
     finally:
         if pump is not None:
             pump.stop()
+        if bound_store:
+            set_artifact_store(previous_store)
     return executed
 
 

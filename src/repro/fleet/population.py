@@ -46,7 +46,8 @@ from repro.scenarios.config import ExperimentConfig
 from repro.scenarios.machines import MACHINE_SPECS
 from repro.scenarios.mixes import sample_mix
 from repro.scenarios.networks import NETWORKS
-from repro.scenarios.scenario import Placement, Scenario, SeedPolicy
+from repro.scenarios.scenario import (AGENT_FACTORIES, Placement, Scenario,
+                                      SeedPolicy, split_agent_name)
 from repro.scenarios.variants import SESSION_VARIANTS
 
 __all__ = ["POPULATION_SCHEMA_VERSION", "PopulationSpec", "sample",
@@ -58,7 +59,7 @@ POPULATION_SCHEMA_VERSION = 1
 
 _SPEC_FIELDS = {"schema", "name", "benchmarks", "mix_sizes",
                 "instance_counts", "networks", "machines", "variants",
-                "containerized", "config", "seed"}
+                "containerized", "config", "seed", "agents"}
 
 
 def _as_weights(value, *, key_type=str) -> tuple[tuple, ...]:
@@ -135,6 +136,11 @@ class PopulationSpec:
     seed_base: Optional[int] = None
     seed_offset_base: int = 0
     seed_stride: int = 1
+    #: Weighted per-placement agent names (``human``, ``intelligent``,
+    #: ``intelligent@K``, ``intelligent#HASH``, ``deskbench[@K]`` — the
+    #: scenario agent-name grammar).  The all-human default draws
+    #: nothing, so existing spec hashes and sample streams are untouched.
+    agents: tuple = (("human", 1.0),)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "benchmarks", tuple(self.benchmarks))
@@ -145,6 +151,7 @@ class PopulationSpec:
         object.__setattr__(self, "networks", _as_weights(self.networks))
         object.__setattr__(self, "machines", _as_weights(self.machines))
         object.__setattr__(self, "variants", _as_weights(self.variants))
+        object.__setattr__(self, "agents", _as_weights(self.agents))
         object.__setattr__(self, "config", dict(self.config))
         if not self.name:
             raise ValueError("population name must be non-empty")
@@ -169,6 +176,11 @@ class PopulationSpec:
                 if entry not in registry:
                     raise ValueError(f"unknown {label} {entry!r}; "
                                      f"known: {sorted(registry)}")
+        for name, _ in self.agents:
+            base, _, _ = split_agent_name(name)
+            if base not in AGENT_FACTORIES:
+                raise ValueError(f"unknown agent {base!r}; known: "
+                                 f"{', '.join(sorted(AGENT_FACTORIES))}")
         if not 0.0 <= self.containerized <= 1.0:
             raise ValueError("containerized must be a probability in [0, 1]")
         unknown = set(self.config) - set(ExperimentConfig.__dataclass_fields__)
@@ -184,7 +196,7 @@ class PopulationSpec:
     # -- serialization ----------------------------------------------------------------
     def to_dict(self) -> dict:
         """A plain-data form that round-trips through :meth:`from_dict`."""
-        return {
+        data = {
             "schema": POPULATION_SCHEMA_VERSION,
             "name": self.name,
             "benchmarks": list(self.benchmarks),
@@ -201,6 +213,11 @@ class PopulationSpec:
                      "offset_base": self.seed_offset_base,
                      "stride": self.seed_stride},
         }
+        # The all-human default is omitted so every pre-agents spec (and
+        # its pinned content hash) serializes exactly as it always did.
+        if self.agents != (("human", 1.0),):
+            data["agents"] = dict(self.agents)
+        return data
 
     @staticmethod
     def from_dict(data: Mapping) -> "PopulationSpec":
@@ -216,7 +233,7 @@ class PopulationSpec:
         kwargs = {}
         for spec_field in ("name", "benchmarks", "mix_sizes",
                            "instance_counts", "networks", "machines",
-                           "variants", "containerized", "config"):
+                           "variants", "containerized", "config", "agents"):
             if spec_field in data:
                 kwargs[spec_field] = data[spec_field]
         return PopulationSpec(
@@ -263,13 +280,19 @@ def sample_one(spec: PopulationSpec, index: int, seed: int = 0,
             merged["benchmarks"] = tuple(merged["benchmarks"])
         base = replace(base, **merged)
     rng = _index_rng(_spec_hash or spec.content_hash(), seed, index)
-    # Fixed draw order — size, mix, counts, network, machine, variant,
-    # containerized — so a spec edit never shifts unrelated draws within
-    # one index (it changes the spec hash, and thus all of them, anyway).
+    # Fixed draw order — size, mix, (agent, count) per placement,
+    # network, machine, variant, containerized — so a spec edit never
+    # shifts unrelated draws within one index (it changes the spec hash,
+    # and thus all of them, anyway).  The all-human default skips the
+    # agent draw entirely, keeping pre-agents sample streams identical.
     size = _weighted(rng, spec.mix_sizes)
     mix = sample_mix(rng, spec.pool(), size)
+    default_agents = spec.agents == (("human", 1.0),)
     placements = tuple(
-        Placement(benchmark, count=_weighted(rng, spec.instance_counts))
+        Placement(benchmark,
+                  agent=("human" if default_agents
+                         else _weighted(rng, spec.agents)),
+                  count=_weighted(rng, spec.instance_counts))
         for benchmark in mix)
     network = _weighted(rng, spec.networks)
     machine = _weighted(rng, spec.machines)

@@ -30,7 +30,8 @@ from repro.server.host import CloudHost, HostConfig, HostResult
 from repro.sim.engine import Environment
 
 __all__ = ["AGENT_FACTORIES", "Placement", "SCENARIO_SCHEMA_VERSION",
-           "Scenario", "SeedPolicy", "agent_factory", "register_agent"]
+           "Scenario", "SeedPolicy", "agent_factory", "register_agent",
+           "split_agent_name"]
 
 #: Bump when the serialized scenario layout (or the result layout the
 #: executor caches) changes, so stale provenance is always detectable.
@@ -41,17 +42,59 @@ SCENARIO_SCHEMA_VERSION = 2
 #: module-level callables taking the instantiated application, so the
 #: scenario stays picklable — the name crosses the process boundary and
 #: the factory is resolved inside the worker.
+class _ArtifactAgentSpec:
+    """Registry entry for agents materialized from trained artefacts.
+
+    The placement name stays declarative (``intelligent``,
+    ``intelligent@3``, ``intelligent#<hash>``, ``deskbench@3``); the
+    trained agent resolves lazily — memo, ambient artefact store, or
+    train-on-demand — inside the executing process when the host binds
+    its instances, like every other name-resolved scenario registry.
+    The heavy agents package is imported only at bind time, so scenario
+    construction and hashing stay lightweight.
+    """
+
+    def __init__(self, kind: str):
+        self.kind = kind
+
+    def bind(self, scenario: "Scenario", benchmark: str, agent: str) -> Callable:
+        from repro.agents.artifacts import bind_scenario_agent
+        return bind_scenario_agent(self.kind, scenario, benchmark, agent)
+
+
 AGENT_FACTORIES: dict[str, Optional[Callable]] = {
     "human": None,
+    "intelligent": _ArtifactAgentSpec("intelligent"),
+    "deskbench": _ArtifactAgentSpec("deskbench"),
 }
 
 
+def split_agent_name(name: str) -> tuple[str, str, str]:
+    """Split a placement agent name into (base, separator, parameter).
+
+    ``"intelligent@3"`` → ``("intelligent", "@", "3")`` (a training-seed
+    offset), ``"intelligent#ab12…"`` → ``("intelligent", "#", "ab12…")``
+    (an explicit artefact hash), bare names → ``(name, "", "")``.
+    """
+    for sep in ("@", "#"):
+        base, found, param = name.partition(sep)
+        if found:
+            return base, sep, param
+    return name, "", ""
+
+
 def agent_factory(name: str) -> Optional[Callable]:
-    """The agent factory registered under ``name`` (None = default human)."""
+    """The agent factory registered under ``name`` (None = default human).
+
+    Parametrized names (``intelligent@3``) resolve through their base
+    name; the parameter is consumed by the registered spec's ``bind``
+    (see :meth:`Scenario.build_host`).
+    """
+    base, _, _ = split_agent_name(name)
     try:
-        return AGENT_FACTORIES[name]
+        return AGENT_FACTORIES[base]
     except KeyError:
-        raise KeyError(f"unknown agent {name!r}; "
+        raise KeyError(f"unknown agent {base!r}; "
                        f"known: {sorted(AGENT_FACTORIES)}") from None
 
 
@@ -85,9 +128,24 @@ class Placement:
         if self.benchmark not in known:
             raise ValueError(f"unknown benchmark {self.benchmark!r}; "
                              f"known: {', '.join(sorted(known))}")
-        if self.agent not in AGENT_FACTORIES:
-            raise ValueError(f"unknown agent {self.agent!r}; "
+        base, sep, param = split_agent_name(self.agent)
+        if base not in AGENT_FACTORIES:
+            raise ValueError(f"unknown agent {base!r}; "
                              f"known: {sorted(AGENT_FACTORIES)}")
+        if sep:
+            if not hasattr(AGENT_FACTORIES[base], "bind"):
+                raise ValueError(f"agent {base!r} does not take a "
+                                 f"{sep!r} parameter")
+            if sep == "@":
+                try:
+                    int(param)
+                except ValueError:
+                    raise ValueError(
+                        f"agent parameter in {self.agent!r} must be an "
+                        "integer training-seed offset") from None
+            elif not param:
+                raise ValueError(f"agent {self.agent!r} names an empty "
+                                 "artefact hash")
 
 
 @dataclass(frozen=True)
@@ -345,8 +403,11 @@ class Scenario:
         host = CloudHost(host_config, env=Environment(heap=heap))
         link = network_link(self.network)
         for benchmark, agent in self.instances:
+            factory = agent_factory(agent)
+            if hasattr(factory, "bind"):
+                factory = factory.bind(self, benchmark, agent)
             host.add_instance(
-                benchmark, agent_factory=agent_factory(agent),
+                benchmark, agent_factory=factory,
                 session_config=self.variant.session_config(link=link))
         return host
 

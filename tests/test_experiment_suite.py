@@ -332,9 +332,10 @@ def test_cost_model_calibrates_from_cached_runtimes(tmp_path, config):
 
 
 def test_figure_registry_covers_the_benchmarks(config):
-    expected = {"fig06", "fig07", "sec4", "fig08", "fig09", "fig10", "fig11",
-                "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
-                "fig19", "fig20", "fig22", "ablation", "table4", "nway"}
+    expected = {"fig06", "fig06-split", "fig07", "sec4", "fig08", "fig09",
+                "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+                "fig17", "fig18", "fig19", "fig20", "fig22", "ablation",
+                "table4", "nway"}
     assert expected == set(FIGURES)
     with pytest.raises(KeyError):
         run_figure("fig99", config)

@@ -119,6 +119,7 @@ def test_spec_hash_is_sensitive_to_every_field():
         "seed_base": {"seed_base": 7},
         "seed_offset_base": {"seed_offset_base": 100},
         "seed_stride": {"seed_stride": 2},
+        "agents": {"agents": {"human": 1, "intelligent": 1}},
     }
     # Every spec field is covered (schema is deliberately hash-exempt).
     assert set(variations) == set(PopulationSpec.__dataclass_fields__)

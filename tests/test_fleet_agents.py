@@ -1,0 +1,70 @@
+"""PopulationSpec agent cohorts: the fleet side of the artefact registry."""
+
+import pytest
+
+from repro.fleet import PopulationSpec, sample
+
+#: Pre-agents spec hashes, pinned: adding the ``agents`` field must not
+#: move a single existing population (specs, samples, caches).
+_DEFAULT_HASH = \
+    "887b841a9cd1657183b5cf87586263cbbd8042949454348c477290715f157a55"
+_MIXED_HASH = \
+    "8a873b36a4143a73cda6340c0a7a8c3c199bafc8b863d3e7573bb7c89a0de802"
+
+
+def test_default_spec_hashes_are_unchanged():
+    assert PopulationSpec().content_hash() == _DEFAULT_HASH
+    assert PopulationSpec(benchmarks=("RE", "D2"),
+                          mix_sizes={1: 1, 2: 1}).content_hash() \
+        == _MIXED_HASH
+
+
+def test_default_spec_omits_agents_and_samples_human():
+    spec = PopulationSpec(benchmarks=("RE", "D2"), mix_sizes={1: 1, 2: 1})
+    assert "agents" not in spec.to_dict()
+    for scenario in sample(spec, 10, seed=1):
+        assert all(p.agent == "human" for p in scenario.placements)
+
+
+def test_agents_table_round_trips_and_draws():
+    spec = PopulationSpec(benchmarks=("RE", "D2"), mix_sizes={1: 1, 2: 1},
+                          agents={"human": 1.0, "intelligent": 1.0,
+                                  "deskbench@1": 0.5})
+    data = spec.to_dict()
+    assert data["agents"] == {"deskbench@1": 0.5, "human": 1.0,
+                              "intelligent": 1.0}
+    rebuilt = PopulationSpec.from_dict(data)
+    assert rebuilt == spec
+    assert rebuilt.content_hash() == spec.content_hash()
+    assert spec.content_hash() != _MIXED_HASH
+    drawn = {placement.agent
+             for scenario in sample(spec, 40, seed=3)
+             for placement in scenario.placements}
+    assert drawn == {"human", "intelligent", "deskbench@1"}
+
+
+def test_agents_draws_are_deterministic():
+    spec = PopulationSpec(benchmarks=("RE", "D2"), mix_sizes={1: 1, 2: 1},
+                          agents={"human": 1.0, "intelligent": 1.0})
+    first = [s.content_hash() for s in sample(spec, 10, seed=5)]
+    second = [s.content_hash() for s in sample(spec, 10, seed=5)]
+    assert first == second
+
+
+def test_agents_validation():
+    with pytest.raises(ValueError, match="unknown agent"):
+        PopulationSpec(agents={"bogus": 1.0})
+    with pytest.raises(ValueError):
+        PopulationSpec(agents={})
+    with pytest.raises(ValueError):
+        PopulationSpec(agents={"human": -1.0})
+
+
+def test_named_artifact_cohorts_are_allowed():
+    # Explicit-hash references (``intelligent#HASH``) are legal spec
+    # entries — resolution happens at build_host time, against the
+    # run's artefact store.
+    spec = PopulationSpec(agents={"human": 1.0, "intelligent#abc123": 1.0})
+    assert any(name == "intelligent#abc123" for name, _ in spec.agents)
+    scenarios = list(sample(spec, 5, seed=0))
+    assert len(scenarios) == 5
